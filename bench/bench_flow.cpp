@@ -1,0 +1,78 @@
+// Experiment E13 (§7, [11]): flow control — "a sender process does not
+// cause buffers to overflow at any of the functioning destination
+// processes". A fast sender streams into a group over a slow network;
+// with the window enabled the receiver-side unstable buffer stays bounded
+// by ~W, without it the buffer tracks the whole backlog.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::benchutil;
+
+void run_flood(std::size_t window, double& peak_receiver_buffer,
+               double& sender_queue_peak, std::uint64_t seed) {
+  WorldConfig cfg = default_world(3, seed);
+  cfg.host.endpoint.flow_window = window;
+  cfg.network.latency = sim::LatencyModel::constant(20 * kMillisecond);
+  SimWorld w(cfg);
+  w.create_group(1, all_members(3));
+  w.run_for(200 * kMillisecond);
+  std::size_t peak_buf = 0, peak_q = 0;
+  for (int i = 0; i < 300; ++i) {
+    w.multicast(0, 1, "flood" + std::to_string(i));
+    if (i % 10 == 0) w.run_for(1 * kMillisecond);
+    peak_buf = std::max(peak_buf, w.ep(1).retained_messages(1));
+    peak_q = std::max(peak_q, w.ep(0).queued_sends());
+  }
+  w.run_for(60 * kSecond);
+  peak_receiver_buffer = static_cast<double>(peak_buf);
+  sender_queue_peak = static_cast<double>(peak_q);
+}
+
+void BM_FlowWindowBoundsReceiverBuffer(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  double peak = 0, queue = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_flood(window, peak, queue, seed++);
+  }
+  state.counters["receiver_retained_peak"] = peak;
+  state.counters["sender_local_queue_peak"] = queue;
+  state.counters["window"] = static_cast<double>(window);
+}
+BENCHMARK(BM_FlowWindowBoundsReceiverBuffer)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(0)  // 0 = flow control disabled
+    ->Unit(benchmark::kMillisecond);
+
+// Throughput cost of the window: total virtual time to fully deliver a
+// 300-message flood, per window size. Smaller windows round-trip more.
+void BM_FlowWindowThroughputCost(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  double drain_ms = 0;
+  std::uint64_t seed = 50;
+  for (auto _ : state) {
+    WorldConfig cfg = default_world(3, seed++);
+    cfg.host.endpoint.flow_window = window;
+    cfg.network.latency = sim::LatencyModel::constant(10 * kMillisecond);
+    SimWorld w(cfg);
+    w.create_group(1, all_members(3));
+    w.run_for(200 * kMillisecond);
+    const sim::Time t0 = w.now();
+    for (int i = 0; i < 300; ++i) {
+      w.multicast(0, 1, "f" + std::to_string(i));
+    }
+    const bool ok = w.run_until_pred(
+        [&] { return w.process(2).delivered_strings(1).size() >= 300; },
+        w.now() + 600 * kSecond);
+    if (ok) drain_ms = static_cast<double>(w.now() - t0) / kMillisecond;
+  }
+  state.counters["drain_ms"] = drain_ms;
+  state.counters["window"] = static_cast<double>(window);
+}
+BENCHMARK(BM_FlowWindowThroughputCost)->Arg(8)->Arg(32)->Arg(128)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Experiments E4/E11 (§5.2): membership agreement performance.
+//
+//   - crash-to-new-view latency vs group size n (suspect/endorse/confirm
+//     rounds plus the delivery barrier)
+//   - crash-to-new-view latency vs the suspicion threshold Ω (the floor:
+//     nothing can be detected before Ω of silence)
+//   - graceful Leave vs crash (Leave skips the Ω wait)
+//   - agreement message complexity vs n
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::benchutil;
+
+double crash_to_view_ms(std::size_t n, sim::Duration omega_big,
+                        std::uint64_t seed) {
+  WorldConfig cfg = default_world(n, seed);
+  cfg.host.endpoint.omega_big = omega_big;
+  SimWorld w(cfg);
+  const auto members = all_members(n);
+  w.create_group(1, members);
+  w.run_for(300 * kMillisecond);
+  const auto victim = static_cast<ProcessId>(n - 1);
+  const sim::Time t0 = w.now();
+  w.crash(victim);
+  const bool ok = w.run_until_pred(
+      [&] {
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+          const View* v = w.ep(static_cast<ProcessId>(p)).view(1);
+          if (v == nullptr || v->members.size() != n - 1) return false;
+        }
+        return true;
+      },
+      w.now() + 300 * kSecond);
+  return ok ? static_cast<double>(w.now() - t0) / kMillisecond : -1.0;
+}
+
+void BM_CrashToViewVsGroupSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Samples samples;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const double ms = crash_to_view_ms(n, 200 * kMillisecond, seed++);
+    if (ms >= 0) samples.add(ms);
+  }
+  if (!samples.empty()) {
+    state.counters["detect_ms_mean"] = samples.mean();
+  }
+}
+BENCHMARK(BM_CrashToViewVsGroupSize)->Arg(3)->Arg(5)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrashToViewVsOmegaBig(benchmark::State& state) {
+  const auto omega_big_ms = static_cast<sim::Duration>(state.range(0));
+  util::Samples samples;
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    const double ms =
+        crash_to_view_ms(5, omega_big_ms * kMillisecond, seed++);
+    if (ms >= 0) samples.add(ms);
+  }
+  if (!samples.empty()) {
+    state.counters["detect_ms_mean"] = samples.mean();
+    state.counters["omega_big_ms"] = static_cast<double>(omega_big_ms);
+  }
+}
+BENCHMARK(BM_CrashToViewVsOmegaBig)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LeaveToViewVsGroupSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Samples samples;
+  std::uint64_t seed = 200;
+  for (auto _ : state) {
+    SimWorld w(default_world(n, seed++));
+    const auto members = all_members(n);
+    w.create_group(1, members);
+    w.run_for(300 * kMillisecond);
+    const auto leaver = static_cast<ProcessId>(n - 1);
+    const sim::Time t0 = w.now();
+    w.ep(leaver).leave_group(1, w.now());
+    const bool ok = w.run_until_pred(
+        [&] {
+          for (std::size_t p = 0; p + 1 < n; ++p) {
+            const View* v = w.ep(static_cast<ProcessId>(p)).view(1);
+            if (v == nullptr || v->members.size() != n - 1) return false;
+          }
+          return true;
+        },
+        w.now() + 120 * kSecond);
+    if (ok) samples.add(static_cast<double>(w.now() - t0) / kMillisecond);
+  }
+  if (!samples.empty()) {
+    state.counters["leave_ms_mean"] = samples.mean();
+  }
+}
+BENCHMARK(BM_LeaveToViewVsGroupSize)->Arg(3)->Arg(5)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Control-plane message complexity of one agreement wave: suspects +
+// refutes + confirms counted across all survivors (expected O(n^2)).
+void BM_AgreementTrafficVsGroupSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double msgs = 0;
+  std::uint64_t seed = 300;
+  for (auto _ : state) {
+    SimWorld w(default_world(n, seed++));
+    const auto members = all_members(n);
+    w.create_group(1, members);
+    w.run_for(300 * kMillisecond);
+    std::uint64_t before = 0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      const auto& st = w.ep(static_cast<ProcessId>(p)).stats();
+      before += st.suspects_sent + st.refutes_sent + st.confirms_sent;
+    }
+    w.crash(static_cast<ProcessId>(n - 1));
+    w.run_until_pred(
+        [&] {
+          const View* v = w.ep(0).view(1);
+          return v != nullptr && v->members.size() == n - 1;
+        },
+        w.now() + 300 * kSecond);
+    w.run_for(kSecond);
+    std::uint64_t after = 0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      const auto& st = w.ep(static_cast<ProcessId>(p)).stats();
+      after += st.suspects_sent + st.refutes_sent + st.confirms_sent;
+    }
+    msgs = static_cast<double>(after - before);
+  }
+  state.counters["agreement_msgs"] = msgs;
+}
+BENCHMARK(BM_AgreementTrafficVsGroupSize)->Arg(3)->Arg(5)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

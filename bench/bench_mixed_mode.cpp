@@ -1,0 +1,113 @@
+// Experiment E9 (§4.3/§7 claim): "new multicast in a given group is
+// blocked only if any multicast made in a different asymmetric group is
+// awaiting distribution by the sequencer. If only symmetric version is
+// used, Newtop is totally non-blocking on send operations."
+//
+// Measures the send-blocking stall (time a queued send waits for the
+// previous unicast's echo) as a function of network latency and of the
+// number of asymmetric groups a process belongs to, plus the zero-blocking
+// control for symmetric-only membership.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::benchutil;
+
+GroupOptions asym() {
+  GroupOptions o;
+  o.mode = OrderMode::kAsymmetric;
+  return o;
+}
+
+// One process in k asymmetric groups round-robins sends across them; each
+// send must wait for the previous group's echo (the blocking rule).
+void BM_MixedBlockingVsAsymGroups(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double blocked = 0;
+  double stall_ms = 0;
+  for (auto _ : state) {
+    // Process n-1 is a member of all k asymmetric groups; process i
+    // (0..k-1) is the sequencer of group i.
+    SimWorld w(default_world(k + 1));
+    const auto hot = static_cast<ProcessId>(k);
+    for (std::size_t g = 0; g < k; ++g) {
+      w.create_group(static_cast<GroupId>(g + 1),
+                     {static_cast<ProcessId>(g), hot}, asym());
+    }
+    w.run_for(200 * kMillisecond);
+    const sim::Time t0 = w.now();
+    const int rounds = 10;
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t g = 0; g < k; ++g) {
+        w.multicast(hot, static_cast<GroupId>(g + 1),
+                    "r" + std::to_string(r));
+      }
+    }
+    // Wait for the queue to fully drain.
+    w.run_until_pred([&] { return w.ep(hot).queued_sends() == 0; },
+                     w.now() + 120 * kSecond);
+    stall_ms = static_cast<double>(w.now() - t0) / kMillisecond;
+    blocked = static_cast<double>(w.ep(hot).stats().sends_blocked);
+  }
+  state.counters["drain_ms"] = stall_ms;
+  state.counters["blocked_events"] = blocked;
+}
+BENCHMARK(BM_MixedBlockingVsAsymGroups)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Blocking stall grows with network RTT (the echo round-trip).
+void BM_MixedBlockingVsLatency(benchmark::State& state) {
+  const auto lat_ms = static_cast<sim::Duration>(state.range(0));
+  double drain_ms = 0;
+  for (auto _ : state) {
+    WorldConfig cfg = default_world(3);
+    cfg.network.latency = sim::LatencyModel::constant(lat_ms * kMillisecond);
+    SimWorld w(cfg);
+    w.create_group(1, {0, 2}, asym());
+    w.create_group(2, {1, 2}, asym());
+    w.run_for(300 * kMillisecond);
+    const sim::Time t0 = w.now();
+    for (int r = 0; r < 10; ++r) {
+      w.multicast(2, 1, "a" + std::to_string(r));
+      w.multicast(2, 2, "b" + std::to_string(r));
+    }
+    w.run_until_pred([&] { return w.ep(2).queued_sends() == 0; },
+                     w.now() + 300 * kSecond);
+    drain_ms = static_cast<double>(w.now() - t0) / kMillisecond;
+  }
+  state.counters["drain_ms"] = drain_ms;
+  state.counters["net_ms"] = static_cast<double>(lat_ms);
+}
+BENCHMARK(BM_MixedBlockingVsLatency)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Control: the same round-robin over k *symmetric* groups never blocks.
+void BM_SymmetricOnlyNeverBlocks(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double blocked = 1e9;
+  for (auto _ : state) {
+    SimWorld w(default_world(k + 1));
+    const auto hot = static_cast<ProcessId>(k);
+    for (std::size_t g = 0; g < k; ++g) {
+      w.create_group(static_cast<GroupId>(g + 1),
+                     {static_cast<ProcessId>(g), hot});
+    }
+    w.run_for(200 * kMillisecond);
+    for (int r = 0; r < 10; ++r) {
+      for (std::size_t g = 0; g < k; ++g) {
+        w.multicast(hot, static_cast<GroupId>(g + 1),
+                    "r" + std::to_string(r));
+      }
+    }
+    blocked = static_cast<double>(w.ep(hot).stats().sends_blocked);
+    w.run_for(5 * kSecond);
+  }
+  state.counters["blocked_events"] = blocked;  // expected: 0
+}
+BENCHMARK(BM_SymmetricOnlyNeverBlocks)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Experiment E10 (§5.1): message stability — retained (unstable) buffer
+// occupancy as a function of the time-silence interval ω, of load, and of
+// group size. Stability information travels as the piggybacked m.ldn
+// field, so the rate at which buffers drain is tied to how often members
+// transmit — i.e. to load and to ω.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::benchutil;
+
+// Peak retained-buffer size at a receiver while a single sender streams
+// at a fixed rate, per omega.
+void BM_RetainedPeakVsOmega(benchmark::State& state) {
+  const auto omega_ms = static_cast<sim::Duration>(state.range(0));
+  double peak = 0;
+  for (auto _ : state) {
+    WorldConfig cfg = default_world(4);
+    cfg.host.endpoint.omega = omega_ms * kMillisecond;
+    cfg.host.endpoint.omega_big = 20 * omega_ms * kMillisecond;
+    SimWorld w(cfg);
+    w.create_group(1, all_members(4));
+    w.run_for(200 * kMillisecond);
+    std::size_t local_peak = 0;
+    for (int i = 0; i < 100; ++i) {
+      w.multicast(0, 1, "s" + std::to_string(i));
+      w.run_for(5 * kMillisecond);
+      local_peak = std::max(local_peak, w.ep(1).retained_messages(1));
+    }
+    w.run_for(5 * kSecond);
+    peak = static_cast<double>(local_peak);
+  }
+  state.counters["retained_peak"] = peak;
+  state.counters["omega_ms"] = static_cast<double>(omega_ms);
+}
+BENCHMARK(BM_RetainedPeakVsOmega)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state retained size vs sending rate (all members sending).
+void BM_RetainedVsLoad(benchmark::State& state) {
+  const auto gap_ms = static_cast<sim::Duration>(state.range(0));
+  double steady = 0;
+  for (auto _ : state) {
+    SimWorld w(default_world(4));
+    w.create_group(1, all_members(4));
+    w.run_for(200 * kMillisecond);
+    util::Samples sizes;
+    for (int i = 0; i < 60; ++i) {
+      for (ProcessId p = 0; p < 4; ++p) {
+        w.multicast(p, 1, "x");
+      }
+      w.run_for(gap_ms * kMillisecond);
+      sizes.add(static_cast<double>(w.ep(0).retained_messages(1)));
+    }
+    steady = sizes.mean();
+    w.run_for(5 * kSecond);
+  }
+  state.counters["retained_mean"] = steady;
+  state.counters["send_gap_ms"] = static_cast<double>(gap_ms);
+}
+BENCHMARK(BM_RetainedVsLoad)->Arg(2)->Arg(5)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// After quiescence, retention must drain to (near) zero: everything
+// becomes stable once every member's ldn passes it.
+void BM_RetentionDrainsAtQuiescence(benchmark::State& state) {
+  double residue = 1e9;
+  for (auto _ : state) {
+    SimWorld w(default_world(5));
+    w.create_group(1, all_members(5));
+    w.run_for(200 * kMillisecond);
+    for (int i = 0; i < 50; ++i) {
+      w.multicast(static_cast<ProcessId>(i % 5), 1, "y");
+      w.run_for(2 * kMillisecond);
+    }
+    w.run_for(5 * kSecond);  // several omega rounds: ldn catches up
+    residue = static_cast<double>(w.ep(0).retained_messages(1));
+  }
+  state.counters["retained_after_quiesce"] = residue;
+}
+BENCHMARK(BM_RetentionDrainsAtQuiescence)->Unit(benchmark::kMillisecond);
+
+// A stalled member (partitioned, not yet excluded) blocks stability; the
+// buffer grows until the membership protocol removes it, then drains —
+// the interplay of §5.1 and §5.2.
+void BM_RetentionUnderStall(benchmark::State& state) {
+  double peak = 0, after_exclusion = 0;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    SimWorld w(default_world(4, seed++));
+    w.create_group(1, all_members(4));
+    w.run_for(200 * kMillisecond);
+    w.crash(3);  // silent: stability stalls until exclusion
+    std::size_t local_peak = 0;
+    for (int i = 0; i < 40; ++i) {
+      w.multicast(0, 1, "z" + std::to_string(i));
+      w.run_for(10 * kMillisecond);
+      local_peak = std::max(local_peak, w.ep(1).retained_messages(1));
+    }
+    w.run_until_pred(
+        [&] {
+          const View* v = w.ep(1).view(1);
+          return v != nullptr && v->members.size() == 3;
+        },
+        w.now() + 300 * kSecond);
+    w.run_for(5 * kSecond);
+    peak = static_cast<double>(local_peak);
+    after_exclusion = static_cast<double>(w.ep(1).retained_messages(1));
+  }
+  state.counters["retained_peak_during_stall"] = peak;
+  state.counters["retained_after_exclusion"] = after_exclusion;
+}
+BENCHMARK(BM_RetentionUnderStall)->Unit(benchmark::kMillisecond);
+
+}  // namespace

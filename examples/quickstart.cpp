@@ -1,0 +1,66 @@
+// Quickstart: three processes form a group, exchange totally ordered
+// multicasts, one process crashes, the survivors agree on a new view and
+// keep going. Run with no arguments; prints a narrated trace.
+//
+// This exercises the whole stack of Fig. 3: simulated network -> reliable
+// FIFO transport -> logical clocks -> membership -> total order delivery.
+#include <cstdio>
+
+#include "core/sim_host.h"
+
+using namespace newtop;
+using simhost::SimWorld;
+using simhost::WorldConfig;
+using sim::kMillisecond;
+using sim::kSecond;
+
+int main() {
+  WorldConfig cfg;
+  cfg.processes = 3;
+  cfg.seed = 2026;
+  cfg.network.latency =
+      sim::LatencyModel::uniform(2 * kMillisecond, 10 * kMillisecond);
+  SimWorld world(cfg);
+
+  std::printf("== Newtop quickstart ==\n");
+  std::printf("creating group g1 = {P0, P1, P2} (symmetric total order)\n");
+  world.create_group(/*g=*/1, {0, 1, 2});
+
+  std::printf("P0 and P1 multicast concurrently...\n");
+  world.multicast(0, 1, "credit alice 100");
+  world.multicast(1, 1, "debit bob 40");
+  world.run_for(1 * kSecond);
+
+  for (ProcessId p = 0; p < 3; ++p) {
+    std::printf("P%u delivered:", p);
+    for (const auto& s : world.process(p).delivered_strings(1)) {
+      std::printf(" [%s]", s.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncrashing P2...\n");
+  world.crash(2);
+  world.multicast(0, 1, "credit carol 7");
+  world.run_for(3 * kSecond);
+
+  for (ProcessId p = 0; p < 2; ++p) {
+    const View* v = world.ep(p).view(1);
+    std::printf("P%u view after crash: %s\n", p,
+                v ? to_string(*v).c_str() : "(none)");
+  }
+  std::printf("P0 delivered %zu messages, P1 delivered %zu — orders %s\n",
+              world.process(0).delivered_strings(1).size(),
+              world.process(1).delivered_strings(1).size(),
+              world.process(0).delivered_strings(1) ==
+                      world.process(1).delivered_strings(1)
+                  ? "identical"
+                  : "DIVERGENT (bug!)");
+
+  std::printf("\nP0 stats: %llu app multicasts, %llu nulls, %llu views "
+              "installed\n",
+              static_cast<unsigned long long>(world.ep(0).stats().app_multicasts),
+              static_cast<unsigned long long>(world.ep(0).stats().nulls_sent),
+              static_cast<unsigned long long>(world.ep(0).stats().views_installed));
+  return 0;
+}

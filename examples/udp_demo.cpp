@@ -1,0 +1,86 @@
+// Newtop over real UDP sockets: three nodes on loopback form a group
+// dynamically, exchange ordered traffic, and survive a node being killed.
+// The same protocol engine as everywhere else — only the bytes now travel
+// through the kernel's network stack.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/udp_transport.h"
+
+using namespace newtop;
+using transport::UdpNode;
+using transport::UdpNodeConfig;
+
+namespace {
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+}  // namespace
+
+int main() {
+  using namespace std::chrono_literals;
+  UdpNodeConfig cfg;
+  cfg.endpoint.omega = 25 * sim::kMillisecond;
+  cfg.endpoint.omega_big = 200 * sim::kMillisecond;
+
+  std::printf("== Newtop over UDP loopback ==\n");
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  for (ProcessId p = 0; p < 3; ++p) {
+    nodes.push_back(std::make_unique<UdpNode>(p, /*port=*/0, cfg));
+  }
+  for (auto& a : nodes) {
+    for (auto& b : nodes) {
+      if (a->id() != b->id()) a->add_peer(b->id(), b->port());
+    }
+    std::printf("node P%u on udp port %u\n", a->id(), a->port());
+  }
+  for (auto& node : nodes) node->start();
+
+  std::printf("\nP0 initiates group 1 = {P0, P1, P2} over the wire...\n");
+  nodes[0]->initiate_group(1, {0, 1, 2});
+  std::this_thread::sleep_for(400ms);
+
+  nodes[1]->multicast(1, bytes_of("hello from P1"));
+  nodes[2]->multicast(1, bytes_of("hello from P2"));
+  std::this_thread::sleep_for(500ms);
+
+  for (auto& node : nodes) {
+    std::printf("P%u delivered:", node->id());
+    for (const auto& d : node->deliveries()) {
+      std::printf(" [%s]",
+                  std::string(d.payload.begin(), d.payload.end()).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nkilling P2 (socket closed, no goodbye)...\n");
+  nodes[2]->stop();
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  bool excluded = false;
+  while (std::chrono::steady_clock::now() < deadline && !excluded) {
+    const auto v = nodes[0]->views();
+    excluded = !v.empty() &&
+               v.back().second.members == std::vector<ProcessId>{0, 1};
+    std::this_thread::sleep_for(20ms);
+  }
+  std::printf("survivors' view: %s\n",
+              excluded ? "V{P0,P1} — P2 excluded by the membership protocol"
+                       : "TIMEOUT (unexpected)");
+
+  nodes[0]->multicast(1, bytes_of("life goes on"));
+  std::this_thread::sleep_for(300ms);
+  const auto d1 = nodes[1]->deliveries();
+  const std::string last =
+      d1.empty() ? "?" : std::string(d1.back().payload.begin(),
+                                     d1.back().payload.end());
+  std::printf("P1's last delivery: [%s]\n", last.c_str());
+  nodes[0]->stop();
+  nodes[1]->stop();
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "baselines/abcast.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace newtop::baselines {
+
+namespace {
+enum class Kind : std::uint8_t { kToSequencer = 0, kSequenced = 1 };
+}  // namespace
+
+AbcastProcess::AbcastProcess(ProcessId self, std::vector<ProcessId> members,
+                             SendFn send, DeliverFn deliver)
+    : self_(self),
+      members_(std::move(members)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  std::sort(members_.begin(), members_.end());
+  NEWTOP_CHECK(!members_.empty());
+}
+
+std::size_t AbcastProcess::metadata_bytes() const {
+  // kind byte + origin varint + sequence varint.
+  util::Writer w;
+  w.u8(0);
+  w.varint(self_);
+  w.varint(next_seq_);
+  return w.size();
+}
+
+void AbcastProcess::multicast(util::Bytes payload) {
+  if (self_ == sequencer()) {
+    sequence_and_broadcast(self_, std::move(payload));
+    return;
+  }
+  util::Writer w(payload.size() + 8);
+  w.u8(static_cast<std::uint8_t>(Kind::kToSequencer));
+  w.varint(self_);
+  w.bytes(payload);
+  send_(sequencer(), std::move(w).take());
+}
+
+void AbcastProcess::sequence_and_broadcast(ProcessId origin,
+                                           util::Bytes payload) {
+  const std::uint64_t seq = next_seq_++;
+  util::Writer w(payload.size() + 12);
+  w.u8(static_cast<std::uint8_t>(Kind::kSequenced));
+  w.varint(origin);
+  w.varint(seq);
+  w.bytes(payload);
+  const util::Bytes raw = std::move(w).take();
+  for (ProcessId p : members_) {
+    if (p != self_) send_(p, raw);
+  }
+  pending_[seq] = {origin, std::move(payload)};
+  try_deliver();
+}
+
+void AbcastProcess::on_message(ProcessId from, const util::Bytes& data) {
+  (void)from;
+  util::Reader r(data);
+  const auto kind = static_cast<Kind>(r.u8());
+  if (kind == Kind::kToSequencer) {
+    const auto origin = static_cast<ProcessId>(r.varint());
+    util::Bytes payload = r.bytes();
+    if (!r.ok() || self_ != sequencer()) return;
+    sequence_and_broadcast(origin, std::move(payload));
+    return;
+  }
+  const auto origin = static_cast<ProcessId>(r.varint());
+  const std::uint64_t seq = r.varint();
+  util::Bytes payload = r.bytes();
+  if (!r.ok()) return;
+  pending_[seq] = {origin, std::move(payload)};
+  try_deliver();
+}
+
+void AbcastProcess::try_deliver() {
+  while (true) {
+    auto it = pending_.find(next_deliver_);
+    if (it == pending_.end()) return;
+    ++delivered_;
+    deliver_(it->second.first, it->second.second);
+    pending_.erase(it);
+    ++next_deliver_;
+  }
+}
+
+}  // namespace newtop::baselines

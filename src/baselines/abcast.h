@@ -1,0 +1,46 @@
+// Fixed-sequencer total order multicast (the classic asymmetric scheme
+// Newtop's §4.2 builds on, stripped of Newtop's multi-group integration).
+// Single static group, no fault tolerance — a pure ordering baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/codec.h"
+
+namespace newtop::baselines {
+
+class AbcastProcess {
+ public:
+  using SendFn = std::function<void(ProcessId to, util::Bytes)>;
+  using DeliverFn =
+      std::function<void(ProcessId sender, const util::Bytes& payload)>;
+
+  AbcastProcess(ProcessId self, std::vector<ProcessId> members, SendFn send,
+                DeliverFn deliver);
+
+  void multicast(util::Bytes payload);
+  void on_message(ProcessId from, const util::Bytes& data);
+
+  ProcessId sequencer() const { return members_.front(); }
+  std::size_t metadata_bytes() const;
+  std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  void sequence_and_broadcast(ProcessId origin, util::Bytes payload);
+  void try_deliver();
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;  // sorted; front() is the sequencer
+  std::uint64_t next_seq_ = 1;      // sequencer-side numbering
+  std::uint64_t next_deliver_ = 1;  // receiver-side cursor
+  std::map<std::uint64_t, std::pair<ProcessId, util::Bytes>> pending_;
+  SendFn send_;
+  DeliverFn deliver_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace newtop::baselines

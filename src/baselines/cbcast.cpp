@@ -1,0 +1,87 @@
+#include "baselines/cbcast.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace newtop::baselines {
+
+CbcastProcess::CbcastProcess(ProcessId self, std::vector<ProcessId> members,
+                             SendFn send, DeliverFn deliver)
+    : self_(self),
+      members_(std::move(members)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  std::sort(members_.begin(), members_.end());
+  local_ = VectorClock(members_.size());
+  self_idx_ = index_of(self_);
+}
+
+std::size_t CbcastProcess::index_of(ProcessId p) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  NEWTOP_CHECK(it != members_.end() && *it == p);
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+void CbcastProcess::multicast(util::Bytes payload) {
+  local_[self_idx_] += 1;
+  util::Writer w(payload.size() + 8 * members_.size());
+  w.varint(self_);
+  local_.encode(w);
+  w.bytes(payload);
+  const util::Bytes raw = std::move(w).take();
+  for (ProcessId p : members_) {
+    if (p != self_) send_(p, raw);
+  }
+  ++delivered_;
+  deliver_(self_, payload);
+}
+
+void CbcastProcess::on_message(ProcessId from, const util::Bytes& data) {
+  (void)from;
+  util::Reader r(data);
+  const auto sender = static_cast<ProcessId>(r.varint());
+  Held h;
+  h.vt = VectorClock::decode(r);
+  h.payload = r.bytes();
+  if (!r.ok() || h.vt.size() != members_.size()) return;
+  h.sender_idx = index_of(sender);
+  if (deliverable(h)) {
+    deliver(h);
+    drain();
+  } else {
+    held_.push_back(std::move(h));
+  }
+}
+
+bool CbcastProcess::deliverable(const Held& h) const {
+  for (std::size_t k = 0; k < members_.size(); ++k) {
+    const std::uint64_t need = k == h.sender_idx ? local_[k] + 1 : local_[k];
+    if (k == h.sender_idx ? h.vt[k] != need : h.vt[k] > need) return false;
+  }
+  return true;
+}
+
+void CbcastProcess::deliver(const Held& h) {
+  local_[h.sender_idx] += 1;
+  ++delivered_;
+  deliver_(members_[h.sender_idx], h.payload);
+}
+
+void CbcastProcess::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (deliverable(*it)) {
+        Held h = std::move(*it);
+        held_.erase(it);
+        deliver(h);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace newtop::baselines

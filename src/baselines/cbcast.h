@@ -1,0 +1,58 @@
+// ISIS-style CBCAST: vector-clock causal multicast for a single static
+// group (Birman, Schiper & Stephenson [4] in the paper). Baseline for
+// experiments E6 (metadata bytes per message) and E14 (processing cost).
+//
+// Delivery rule: a message from sender j stamped vt is deliverable when
+//   vt[j] == local[j] + 1   and   vt[k] <= local[k] for all k != j.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "baselines/vector_clock.h"
+#include "core/types.h"
+#include "util/codec.h"
+
+namespace newtop::baselines {
+
+class CbcastProcess {
+ public:
+  using SendFn = std::function<void(ProcessId to, util::Bytes)>;
+  using DeliverFn =
+      std::function<void(ProcessId sender, const util::Bytes& payload)>;
+
+  CbcastProcess(ProcessId self, std::vector<ProcessId> members, SendFn send,
+                DeliverFn deliver);
+
+  void multicast(util::Bytes payload);
+  void on_message(ProcessId from, const util::Bytes& data);
+
+  // Ordering metadata carried per message (the vector timestamp).
+  std::size_t metadata_bytes() const { return local_.encoded_size(); }
+  std::uint64_t delivered_count() const { return delivered_; }
+  std::size_t held_count() const { return held_.size(); }
+
+ private:
+  struct Held {
+    std::size_t sender_idx;
+    VectorClock vt;
+    util::Bytes payload;
+  };
+
+  std::size_t index_of(ProcessId p) const;
+  bool deliverable(const Held& h) const;
+  void deliver(const Held& h);
+  void drain();
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;
+  std::size_t self_idx_;
+  VectorClock local_;
+  std::vector<Held> held_;
+  SendFn send_;
+  DeliverFn deliver_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace newtop::baselines

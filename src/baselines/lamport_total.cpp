@@ -1,0 +1,104 @@
+#include "baselines/lamport_total.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace newtop::baselines {
+
+namespace {
+enum class Kind : std::uint8_t { kData = 0, kAck = 1 };
+}  // namespace
+
+LamportTotalProcess::LamportTotalProcess(ProcessId self,
+                                         std::vector<ProcessId> members,
+                                         SendFn send, DeliverFn deliver)
+    : self_(self),
+      members_(std::move(members)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  std::sort(members_.begin(), members_.end());
+  for (ProcessId p : members_) last_seen_[p] = 0;
+}
+
+std::size_t LamportTotalProcess::metadata_bytes() const {
+  util::Writer w;
+  w.u8(0);
+  w.varint(self_);
+  w.varint(clock_);
+  return w.size();
+}
+
+void LamportTotalProcess::multicast(util::Bytes payload) {
+  const std::uint64_t ts = ++clock_;
+  util::Writer w(payload.size() + 10);
+  w.u8(static_cast<std::uint8_t>(Kind::kData));
+  w.varint(self_);
+  w.varint(ts);
+  w.bytes(payload);
+  const util::Bytes raw = std::move(w).take();
+  for (ProcessId p : members_) {
+    if (p != self_) send_(p, raw);
+  }
+  queue_[Key{ts, self_}] = std::move(payload);
+  last_seen_[self_] = ts;
+  try_deliver();
+}
+
+void LamportTotalProcess::on_message(ProcessId from, const util::Bytes& data) {
+  (void)from;
+  util::Reader r(data);
+  const auto kind = static_cast<Kind>(r.u8());
+  const auto sender = static_cast<ProcessId>(r.varint());
+  const std::uint64_t ts = r.varint();
+  if (kind == Kind::kData) {
+    util::Bytes payload = r.bytes();
+    if (!r.ok()) return;
+    queue_[Key{ts, sender}] = std::move(payload);
+    observe(sender, ts);
+    // Acknowledge so everyone learns our clock passed ts.
+    broadcast_ack();
+    try_deliver();
+  } else {
+    if (!r.ok()) return;
+    observe(sender, ts);
+    try_deliver();
+  }
+}
+
+void LamportTotalProcess::observe(ProcessId from, std::uint64_t ts) {
+  clock_ = std::max(clock_, ts);
+  auto it = last_seen_.find(from);
+  if (it != last_seen_.end()) it->second = std::max(it->second, ts);
+}
+
+void LamportTotalProcess::broadcast_ack() {
+  const std::uint64_t ts = ++clock_;
+  util::Writer w(10);
+  w.u8(static_cast<std::uint8_t>(Kind::kAck));
+  w.varint(self_);
+  w.varint(ts);
+  const util::Bytes raw = std::move(w).take();
+  for (ProcessId p : members_) {
+    if (p != self_) send_(p, raw);
+  }
+  ++acks_sent_;
+  last_seen_[self_] = ts;
+}
+
+void LamportTotalProcess::try_deliver() {
+  while (!queue_.empty()) {
+    const Key head = queue_.begin()->first;
+    // Deliverable once every member's stream has passed the head's ts.
+    for (ProcessId p : members_) {
+      if (last_seen_[p] <= head.ts && p != head.sender) return;
+      if (p == head.sender && last_seen_[p] < head.ts) return;
+    }
+    util::Bytes payload = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    ++delivered_;
+    deliver_(head.sender, payload);
+  }
+}
+
+}  // namespace newtop::baselines

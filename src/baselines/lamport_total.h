@@ -1,0 +1,60 @@
+// Lamport-clock total order with explicit per-message acknowledgements
+// (the classical construction from Lamport's 1978 paper [10]): a message
+// is delivered once it heads the timestamp-ordered queue and a message or
+// ack with a larger timestamp has been received from every other member.
+//
+// This is the ancestor of Newtop's symmetric protocol. The contrast the
+// benches draw (E6/E14): Lamport-total pays n-1 acks per multicast at all
+// times; Newtop replaces acks with its receive vector over normal traffic
+// plus ω-periodic nulls only during silence, amortising the overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/codec.h"
+
+namespace newtop::baselines {
+
+class LamportTotalProcess {
+ public:
+  using SendFn = std::function<void(ProcessId to, util::Bytes)>;
+  using DeliverFn =
+      std::function<void(ProcessId sender, const util::Bytes& payload)>;
+
+  LamportTotalProcess(ProcessId self, std::vector<ProcessId> members,
+                      SendFn send, DeliverFn deliver);
+
+  void multicast(util::Bytes payload);
+  void on_message(ProcessId from, const util::Bytes& data);
+
+  std::size_t metadata_bytes() const;
+  std::uint64_t delivered_count() const { return delivered_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  struct Key {
+    std::uint64_t ts;
+    ProcessId sender;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void observe(ProcessId from, std::uint64_t ts);
+  void try_deliver();
+  void broadcast_ack();
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;
+  std::uint64_t clock_ = 0;
+  std::map<Key, util::Bytes> queue_;
+  std::map<ProcessId, std::uint64_t> last_seen_;  // highest ts per member
+  SendFn send_;
+  DeliverFn deliver_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace newtop::baselines

@@ -1,0 +1,115 @@
+#include "baselines/psync.h"
+
+#include <algorithm>
+
+namespace newtop::baselines {
+
+PsyncProcess::PsyncProcess(ProcessId self, std::vector<ProcessId> members,
+                           SendFn send, DeliverFn deliver)
+    : self_(self),
+      members_(std::move(members)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  std::sort(members_.begin(), members_.end());
+}
+
+std::size_t PsyncProcess::metadata_bytes() const {
+  util::Writer w;
+  w.varint(self_);
+  w.varint(next_seq_);
+  w.varint(leaves_.size());
+  for (const auto& id : leaves_) {
+    w.varint(id.sender);
+    w.varint(id.seq);
+  }
+  return w.size();
+}
+
+void PsyncProcess::multicast(util::Bytes payload) {
+  const MsgId id{self_, next_seq_++};
+  std::vector<MsgId> preds(leaves_.begin(), leaves_.end());
+  util::Writer w(payload.size() + 8 + 8 * preds.size());
+  w.varint(id.sender);
+  w.varint(id.seq);
+  w.varint(preds.size());
+  for (const auto& p : preds) {
+    w.varint(p.sender);
+    w.varint(p.seq);
+  }
+  w.bytes(payload);
+  const util::Bytes raw = std::move(w).take();
+  for (ProcessId p : members_) {
+    if (p != self_) send_(p, raw);
+  }
+  // Self-delivery: our own message becomes the sole leaf.
+  delivered_ids_.insert(id);
+  leaves_.clear();
+  leaves_.insert(id);
+  ++delivered_;
+  deliver_(self_, payload);
+}
+
+void PsyncProcess::on_message(ProcessId from, const util::Bytes& data) {
+  (void)from;
+  util::Reader r(data);
+  Held h;
+  h.id.sender = static_cast<ProcessId>(r.varint());
+  h.id.seq = r.varint();
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 16) return;
+  h.preds.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MsgId p;
+    p.sender = static_cast<ProcessId>(r.varint());
+    p.seq = r.varint();
+    h.preds.push_back(p);
+  }
+  h.payload = r.bytes();
+  if (!r.ok()) return;
+  if (delivered_ids_.count(h.id) > 0) return;  // duplicate
+  if (deliverable(h)) {
+    deliver(std::move(h));
+    drain();
+  } else {
+    held_.push_back(std::move(h));
+  }
+}
+
+bool PsyncProcess::deliverable(const Held& h) const {
+  for (const auto& p : h.preds) {
+    if (delivered_ids_.count(p) == 0) return false;
+  }
+  return true;
+}
+
+void PsyncProcess::deliver(Held h) {
+  delivered_ids_.insert(h.id);
+  // Graph frontier maintenance: the new message covers its predecessors.
+  for (const auto& p : h.preds) leaves_.erase(p);
+  leaves_.insert(h.id);
+  ++delivered_;
+  deliver_(h.id.sender, h.payload);
+}
+
+void PsyncProcess::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (delivered_ids_.count(it->id) > 0) {
+        held_.erase(it);
+        progressed = true;
+        break;
+      }
+      if (deliverable(*it)) {
+        Held h = std::move(*it);
+        held_.erase(it);
+        deliver(std::move(h));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace newtop::baselines

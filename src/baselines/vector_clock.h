@@ -1,0 +1,66 @@
+// Vector clocks, as used by the ISIS CBCAST protocol the paper compares
+// against (§6). Newtop's whole pitch in that comparison is that it does
+// NOT need these: its ordering metadata is O(1) per message, a vector
+// clock is O(n) in the group size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace newtop::baselines {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+
+  std::size_t size() const { return v_.size(); }
+  std::uint64_t& operator[](std::size_t i) { return v_[i]; }
+  std::uint64_t operator[](std::size_t i) const { return v_[i]; }
+
+  void merge(const VectorClock& other) {
+    NEWTOP_CHECK(other.size() == size());
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      v_[i] = std::max(v_[i], other.v_[i]);
+    }
+  }
+
+  // True if this <= other componentwise.
+  bool leq(const VectorClock& other) const {
+    NEWTOP_CHECK(other.size() == size());
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] > other.v_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const VectorClock&) const = default;
+
+  void encode(util::Writer& w) const {
+    w.varint(v_.size());
+    for (auto x : v_) w.varint(x);
+  }
+
+  static VectorClock decode(util::Reader& r) {
+    VectorClock vc;
+    const std::uint64_t n = r.varint();
+    if (n > 1u << 20) return vc;
+    vc.v_.resize(n);
+    for (auto& x : vc.v_) x = r.varint();
+    return vc;
+  }
+
+  std::size_t encoded_size() const {
+    util::Writer w;
+    encode(w);
+    return w.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+}  // namespace newtop::baselines

@@ -1,0 +1,633 @@
+// Endpoint implementation: construction, application API, the ordered
+// plane (logical clocks, receive vectors, delivery conditions safe1'/safe2,
+// time-silence, the asymmetric sequencer path and the blocking rules) and
+// message dispatch. The membership service and group formation live in
+// endpoint_membership.cpp / endpoint_formation.cpp.
+#include "core/endpoint.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace newtop {
+
+namespace {
+
+std::vector<ProcessId> sorted_unique(std::vector<ProcessId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(ProcessId self, Config config, EndpointHooks hooks)
+    : self_(self), cfg_(config), hooks_(std::move(hooks)) {
+  NEWTOP_CHECK(hooks_.send != nullptr);
+  NEWTOP_CHECK(hooks_.deliver != nullptr);
+  NEWTOP_CHECK_MSG(cfg_.omega_big > cfg_.omega, "need Omega > omega (§5.2)");
+}
+
+void Endpoint::flush_erasures() {
+  for (GroupId g : pending_erase_) groups_.erase(g);
+  pending_erase_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Application API
+// ---------------------------------------------------------------------
+
+void Endpoint::create_group(GroupId g, std::vector<ProcessId> members,
+                            GroupOptions options, Time now) {
+  Reentrancy scope(*this);
+  NEWTOP_CHECK_MSG(find_group(g) == nullptr, "already a member of group");
+  members = sorted_unique(std::move(members));
+  NEWTOP_CHECK_MSG(std::count(members.begin(), members.end(), self_) == 1,
+                   "create_group: self must be a member");
+  auto [it, inserted] = groups_.try_emplace(g);
+  NEWTOP_CHECK(inserted);
+  GroupState& gs = it->second;
+  gs.id = g;
+  gs.opts = options;
+  gs.view.seq = 0;
+  gs.view.members = std::move(members);
+  gs.open = true;
+  gs.last_sent = now;
+  for (ProcessId p : gs.view.members) {
+    gs.rv[p] = 0;
+    if (p != self_) gs.last_activity[p] = now;
+  }
+}
+
+bool Endpoint::multicast(GroupId g, util::Bytes payload, Time now) {
+  Reentrancy scope(*this);
+  GroupState* gs = find_group(g);
+  if (gs == nullptr || (!gs->open && !gs->forming)) return false;
+  pending_sends_.push_back(PendingSend{g, std::move(payload)});
+  pump_sends(now);
+  return true;
+}
+
+void Endpoint::leave_group(GroupId g, Time now) {
+  Reentrancy scope(*this);
+  GroupState* gs = find_group(g);
+  if (gs == nullptr) return;
+  if (gs->open) {
+    // Announce departure as the final ordered message; the Leave's number
+    // is the ln other members will agree on (§5: departures are handled by
+    // the same view-update machinery as failures).
+    emit_ordered(*gs, MsgType::kLeave, {}, now);
+  }
+  gs->defunct = true;
+  pending_erase_.push_back(g);
+  // Drop queued deliveries and queued sends for the group.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    it = it->first.group == g ? queue_.erase(it) : std::next(it);
+  }
+  for (auto& ps : pending_sends_) {
+    if (ps.group == g) ps.payload.clear();  // skipped by pump
+  }
+}
+
+// ---------------------------------------------------------------------
+// Transport / timer inputs
+// ---------------------------------------------------------------------
+
+void Endpoint::on_message(ProcessId from, const util::Bytes& data,
+                          Time now) {
+  Reentrancy scope(*this);
+  const auto type = peek_type(data);
+  if (!type) {
+    NEWTOP_LOG_WARN("P%u: dropping malformed message from P%u", self_, from);
+    return;
+  }
+  switch (*type) {
+    case MsgType::kApp:
+    case MsgType::kNull:
+    case MsgType::kLeave:
+    case MsgType::kStartGroup: {
+      if (auto m = OrderedMsg::decode(data)) {
+        process_ordered(from, *m, now, /*via_recovery=*/false);
+      }
+      break;
+    }
+    case MsgType::kFwd: {
+      if (auto m = FwdMsg::decode(data)) {
+        if (GroupState* gs = find_group(m->group)) handle_fwd(*gs, *m, now);
+      }
+      break;
+    }
+    case MsgType::kSuspect: {
+      if (auto m = SuspectMsg::decode(data)) handle_suspect(from, *m, now);
+      break;
+    }
+    case MsgType::kRefute: {
+      if (auto m = RefuteMsg::decode(data)) handle_refute(from, *m, now);
+      break;
+    }
+    case MsgType::kConfirm: {
+      if (auto m = ConfirmMsg::decode(data)) handle_confirm(from, *m, now);
+      break;
+    }
+    case MsgType::kFormInvite: {
+      if (auto m = FormInviteMsg::decode(data))
+        handle_form_invite(from, *m, now);
+      break;
+    }
+    case MsgType::kFormReply: {
+      if (auto m = FormReplyMsg::decode(data))
+        handle_form_reply(from, *m, now);
+      break;
+    }
+  }
+}
+
+void Endpoint::on_tick(Time now) {
+  Reentrancy scope(*this);
+  // Iterate over a snapshot of ids: handlers may mutate the group map.
+  std::vector<GroupId> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [g, gs] : groups_) ids.push_back(g);
+  for (GroupId g : ids) {
+    GroupState* gs = find_group(g);
+    if (gs == nullptr) continue;
+    const bool live = gs->open || (gs->forming && gs->forming->activated);
+    if (live) {
+      // Time-silence (§4.1): stay lively so that every member's receive
+      // vector entries — and hence D — keep advancing. In the
+      // fault-tolerant protocol every process runs this in every group
+      // (§5: "failures cannot be detected otherwise"). In a failure-free
+      // asymmetric group only the sequencer's stream gates delivery, so
+      // only it needs time-silence (§4.2).
+      const bool silent_role = gs->opts.failure_free &&
+                               gs->opts.mode == OrderMode::kAsymmetric &&
+                               sequencer(*gs) != self_;
+      if (!silent_role && now - gs->last_sent >= cfg_.omega) {
+        emit_ordered(*gs, MsgType::kNull, {}, now);
+      }
+      if (!gs->opts.failure_free) tick_suspector(*gs, now);
+    }
+    if (gs->forming) tick_formation(*gs, now);
+  }
+  // Replies buffered for invitations that never arrived (lost initiator,
+  // stale group ids) are dropped once the formation window has passed.
+  for (auto it = early_replies_.begin(); it != early_replies_.end();) {
+    auto& replies = it->second;
+    std::erase_if(replies, [&](const EarlyReply& r) {
+      return now - r.at >= 2 * cfg_.formation_timeout;
+    });
+    it = replies.empty() ? early_replies_.erase(it) : std::next(it);
+  }
+  pump_sends(now);
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+const View* Endpoint::view(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  return gs != nullptr ? &gs->view : nullptr;
+}
+
+SignatureView Endpoint::signature_view(GroupId g) const {
+  SignatureView sv;
+  if (const GroupState* gs = find_group(g)) {
+    for (ProcessId p : gs->view.members) {
+      sv.signatures.emplace_back(p, gs->excluded_count);
+    }
+  }
+  return sv;
+}
+
+std::vector<GroupId> Endpoint::group_ids() const {
+  std::vector<GroupId> out;
+  for (const auto& [g, gs] : groups_) {
+    if (!gs.defunct) out.push_back(g);
+  }
+  return out;
+}
+
+ProcessId Endpoint::sequencer_of(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  return gs != nullptr ? sequencer(*gs) : kNoProcess;
+}
+
+bool Endpoint::open_for_app(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  return gs != nullptr && gs->open;
+}
+
+Counter Endpoint::group_d(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  return gs != nullptr ? group_d(*gs) : 0;
+}
+
+Counter Endpoint::global_d() const {
+  Counter di = kCounterMax;
+  for (const auto& [g, gs] : groups_) {
+    if (counts_for_global_d(gs)) di = std::min(di, group_d(gs));
+  }
+  return di;
+}
+
+std::size_t Endpoint::retained_messages(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  if (gs == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& [p, msgs] : gs->retained) n += msgs.size();
+  return n;
+}
+
+bool Endpoint::suspects(GroupId g, ProcessId p) const {
+  const GroupState* gs = find_group(g);
+  if (gs == nullptr) return false;
+  for (const auto& s : gs->gv.suspicions) {
+    if (s.process == p) return true;
+  }
+  return false;
+}
+
+std::size_t Endpoint::own_unstable(GroupId g) const {
+  const GroupState* gs = find_group(g);
+  if (gs == nullptr) return 0;
+  if (gs->opts.mode == OrderMode::kAsymmetric) return gs->outstanding.size();
+  auto it = gs->retained.find(self_);
+  return it != gs->retained.end() ? it->second.size() : 0;
+}
+
+// ---------------------------------------------------------------------
+// Ordered plane internals
+// ---------------------------------------------------------------------
+
+Endpoint::GroupState* Endpoint::find_group(GroupId g) {
+  auto it = groups_.find(g);
+  return (it != groups_.end() && !it->second.defunct) ? &it->second
+                                                      : nullptr;
+}
+
+const Endpoint::GroupState* Endpoint::find_group(GroupId g) const {
+  auto it = groups_.find(g);
+  return (it != groups_.end() && !it->second.defunct) ? &it->second
+                                                      : nullptr;
+}
+
+ProcessId Endpoint::sequencer(const GroupState& gs) const {
+  // "a deterministic algorithm (so processes that have the same view are
+  // guaranteed to choose the same sequencer)" §4.2 — lowest member id.
+  return gs.view.members.empty() ? kNoProcess : gs.view.members.front();
+}
+
+bool Endpoint::counts_for_global_d(const GroupState& gs) const {
+  if (gs.defunct) return false;
+  if (gs.opts.guarantee != Guarantee::kTotalOrder) return false;
+  return gs.open || (gs.forming && gs.forming->activated);
+}
+
+Counter Endpoint::group_d(const GroupState& gs) const {
+  // During the start-group wait (§5.3 step 5) D is pinned to the largest
+  // start-number seen so far.
+  if (gs.forming && gs.forming->activated) return gs.forming->start_max;
+  if (gs.opts.mode == OrderMode::kAsymmetric) {
+    const ProcessId seq = sequencer(gs);
+    auto it = gs.rv.find(seq);
+    return it != gs.rv.end() ? it->second : 0;
+  }
+  Counter d = kCounterMax;
+  for (ProcessId p : gs.view.members) {
+    auto it = gs.rv.find(p);
+    d = std::min(d, it != gs.rv.end() ? it->second : 0);
+  }
+  return d == kCounterMax ? 0 : d;
+}
+
+void Endpoint::send_to_others(const GroupState& gs, const util::Bytes& raw) {
+  for (ProcessId p : gs.view.members) {
+    if (p != self_) hooks_.send(p, raw);
+  }
+}
+
+void Endpoint::emit_ordered(GroupState& gs, MsgType type,
+                            util::Bytes payload, Time now) {
+  const Counter c = lc_.stamp_send();  // CA1
+  OrderedMsg m;
+  m.type = type;
+  m.group = gs.id;
+  m.sender = self_;
+  m.emitter = self_;
+  m.counter = c;
+  m.origin_counter = 0;
+  m.ldn = group_d(gs);  // §5.1 stability piggyback
+  m.payload = std::move(payload);
+  gs.last_sent = now;
+  if (type == MsgType::kApp) ++stats_.app_multicasts;
+  if (type == MsgType::kNull) ++stats_.nulls_sent;
+  const util::Bytes raw = m.encode();
+  send_to_others(gs, raw);
+  // "Pi delivers its own messages also by executing the protocol" §3.
+  process_ordered(self_, m, now, /*via_recovery=*/false);
+}
+
+void Endpoint::emit_fwd(GroupState& gs, util::Bytes payload, Time now) {
+  // §4.2: unicast to the sequencer; the unicast updates the logical clock
+  // exactly as a multicast does.
+  const Counter oc = lc_.stamp_send();
+  gs.outstanding.push_back(OutstandingFwd{oc, payload});
+  ++stats_.fwds_sent;
+  ++stats_.app_multicasts;
+  FwdMsg f;
+  f.group = gs.id;
+  f.origin = self_;
+  f.origin_counter = oc;
+  f.payload = std::move(payload);
+  const ProcessId seq = sequencer(gs);
+  if (seq == self_) {
+    // "A process that also happens to be the sequencer will logically
+    // follow the same procedure, unicasting to itself."
+    handle_fwd(gs, f, now);
+  } else {
+    hooks_.send(seq, f.encode());
+  }
+}
+
+void Endpoint::handle_fwd(GroupState& gs, const FwdMsg& fwd, Time now) {
+  if (!gs.open) return;
+  if (!gs.view.contains(fwd.origin) || gs.left.count(fwd.origin) > 0) return;
+  if (sequencer(gs) != self_) return;  // stale view at origin; it resubmits
+  lc_.observe(fwd.origin_counter);     // CA2 for the unicast receive
+  const Counter seen = std::max(
+      gs.oc_forwarded.count(fwd.origin) ? gs.oc_forwarded[fwd.origin] : 0,
+      gs.oc_seen.count(fwd.origin) ? gs.oc_seen[fwd.origin] : 0);
+  if (fwd.origin_counter <= seen) return;  // failover re-submission dup
+  gs.oc_forwarded[fwd.origin] = fwd.origin_counter;
+  if (fwd.origin != self_) {
+    gs.last_activity[fwd.origin] = now;
+    ++stats_.echoes_sequenced;
+  }
+  const Counter c = lc_.stamp_send();  // CA1 for the echo multicast
+  OrderedMsg echo;
+  echo.type = MsgType::kApp;
+  echo.group = gs.id;
+  echo.sender = fwd.origin;
+  echo.emitter = self_;
+  echo.counter = c;
+  echo.origin_counter = fwd.origin_counter;
+  echo.ldn = group_d(gs);
+  echo.payload = fwd.payload;
+  gs.last_sent = now;
+  const util::Bytes raw = echo.encode();
+  send_to_others(gs, raw);
+  process_ordered(self_, echo, now, /*via_recovery=*/false);
+}
+
+void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
+                               Time now, bool via_recovery) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr) return;  // not (or no longer) a member
+
+  if (msg.type == MsgType::kStartGroup) {
+    handle_start_group(*gs, msg, now);
+    return;
+  }
+
+  // "Pi discards any messages received from Pk ... if Pk ∉ Vi" (§5.2).
+  if (!gs->view.contains(msg.emitter) || !gs->view.contains(msg.sender)) {
+    ++stats_.messages_discarded;
+    return;
+  }
+
+  // §5.2 (viii): once a detection is agreed, messages from failed
+  // processes numbered above lnmn are discarded — even if legitimately
+  // sent before the failure (Example 1; required for MD5).
+  if (gs->installing && msg.counter > gs->installing->lnmn) {
+    const auto& failed = gs->installing->failed;
+    if (std::count(failed.begin(), failed.end(), msg.sender) > 0 ||
+        std::count(failed.begin(), failed.end(), msg.emitter) > 0) {
+      ++stats_.messages_discarded;
+      return;
+    }
+  }
+
+  // Messages from a currently-suspected process are held pending the
+  // agreement outcome (§5.2), unless self_refute lets fresh evidence
+  // cancel our own suspicion immediately.
+  if (!via_recovery) {
+    for (const auto& s : gs->gv.suspicions) {
+      if (s.process == msg.emitter && msg.counter > s.ln) {
+        if (cfg_.self_refute) {
+          resolve_refuted(*gs, s, now);  // also re-broadcasts the refute
+          break;
+        }
+        ++stats_.pending_held;
+        gs->gv.pending[msg.emitter].push_back(msg);
+        return;
+      }
+    }
+  }
+
+  lc_.observe(msg.counter);  // CA2
+
+  // Per-emitter stream dedup + receive vector advance (CA-safe because
+  // the transport is FIFO and counters increase along a stream).
+  Counter& last = gs->rv[msg.emitter];
+  if (msg.counter <= last) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  last = msg.counter;
+
+  bool duplicate_echo = false;
+  if (gs->opts.mode == OrderMode::kAsymmetric &&
+      msg.type == MsgType::kApp) {
+    // Failover dedup: an echo re-sequenced by a new sequencer after the
+    // origin re-submitted carries the same origin counter.
+    Counter& oc_seen = gs->oc_seen[msg.sender];
+    if (msg.origin_counter <= oc_seen) {
+      duplicate_echo = true;
+      ++stats_.duplicates_dropped;
+    } else {
+      oc_seen = msg.origin_counter;
+      gs->attributed[msg.sender] = msg.counter;
+    }
+    if (msg.sender == self_) {
+      clear_outstanding_echo(*gs, msg.origin_counter, now);
+    }
+  }
+
+  // Stability (§5.1): m.ldn is the emitter's D at transmission.
+  Counter& sv = gs->sv[msg.emitter];
+  sv = std::max(sv, msg.ldn);
+  advance_stability(*gs);
+
+  if (!via_recovery && link_from != self_) {
+    gs->last_activity[link_from] = now;
+  }
+
+  // Retain unstable content-bearing messages for refute piggybacking.
+  if (msg.type != MsgType::kNull && !duplicate_echo) {
+    gs->retained[msg.emitter][msg.counter] = msg.encode();
+  }
+
+  switch (msg.type) {
+    case MsgType::kNull:
+      break;
+    case MsgType::kLeave:
+      if (msg.sender != self_) {
+        gs->left.insert(msg.sender);
+        // Graceful departure: inject the suspicion all members will share
+        // ({Pk, leave.c}) without waiting the Ω silence out.
+        add_suspicion(*gs, Suspicion{msg.sender, msg.counter}, now);
+        gs = find_group(msg.group);  // agreement may have re-entered
+        if (gs == nullptr) return;
+      }
+      break;
+    case MsgType::kApp:
+      if (duplicate_echo) break;
+      if (gs->opts.guarantee == Guarantee::kAtomicOnly) {
+        deliver_app(*gs, msg);
+      } else {
+        queue_.emplace(QueueKey{msg.counter, msg.group, msg.sender}, msg);
+      }
+      break;
+    default:
+      break;
+  }
+
+  pump_deliveries();
+  gs = find_group(msg.group);  // delivery callbacks may re-enter
+  if (gs == nullptr) return;
+  if (gs->installing) try_complete_barrier(*gs, now);
+  if (gs->forming) maybe_complete_formation(*gs, now);
+}
+
+void Endpoint::deliver_app(const GroupState& gs, const OrderedMsg& msg) {
+  NEWTOP_DCHECK(gs.view.contains(msg.sender));  // MD1
+  Delivery d;
+  d.group = gs.id;
+  d.sender = msg.sender;
+  d.counter = msg.counter;
+  d.view_seq = gs.view.seq;
+  d.payload = msg.payload;
+  ++stats_.deliveries;
+  hooks_.deliver(d);
+}
+
+void Endpoint::pump_deliveries() {
+  // safe1' + safe2: deliver queued messages with m.c <= Di, in
+  // (counter, group, sender) order.
+  while (!queue_.empty()) {
+    const QueueKey key = queue_.begin()->first;
+    if (key.counter > global_d()) break;
+    GroupState* gs = find_group(key.group);
+    if (gs == nullptr) {
+      queue_.erase(queue_.begin());
+      continue;
+    }
+    OrderedMsg msg = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    deliver_app(*gs, msg);
+  }
+}
+
+bool Endpoint::send_eligible(const GroupState& gs) const {
+  if (!gs.open) return false;
+  // Mixed-mode blocking rule (§4.3): delay any ordered send in group g
+  // while a unicast in a *different* group still awaits its sequencer.
+  for (const auto& [other_id, other] : groups_) {
+    if (other_id == gs.id || other.defunct) continue;
+    if (!other.outstanding.empty()) return false;
+  }
+  // Flow control (§7): bound own unstable messages per group.
+  if (cfg_.flow_window > 0) {
+    if (gs.opts.mode == OrderMode::kAsymmetric) {
+      if (gs.outstanding.size() >= cfg_.flow_window) return false;
+    } else {
+      auto it = gs.retained.find(self_);
+      if (it != gs.retained.end() && it->second.size() >= cfg_.flow_window)
+        return false;
+    }
+  }
+  return true;
+}
+
+void Endpoint::pump_sends(Time now) {
+  while (!pending_sends_.empty()) {
+    PendingSend& head = pending_sends_.front();
+    GroupState* gs = find_group(head.group);
+    if (gs == nullptr) {
+      pending_sends_.pop_front();  // left the group while queued
+      continue;
+    }
+    if (!send_eligible(*gs)) {
+      // Distinguish the two stall causes for the stats.
+      bool outstanding_elsewhere = false;
+      for (const auto& [oid, other] : groups_) {
+        if (oid != gs->id && !other.defunct && !other.outstanding.empty())
+          outstanding_elsewhere = true;
+      }
+      if (outstanding_elsewhere)
+        ++stats_.sends_blocked;
+      else if (gs->open)
+        ++stats_.sends_flow_blocked;
+      break;  // head-of-line: ordering forbids skipping ahead
+    }
+    util::Bytes payload = std::move(head.payload);
+    pending_sends_.pop_front();
+    if (gs->opts.mode == OrderMode::kAsymmetric) {
+      emit_fwd(*gs, std::move(payload), now);
+    } else {
+      emit_ordered(*gs, MsgType::kApp, std::move(payload), now);
+    }
+  }
+}
+
+void Endpoint::advance_stability(GroupState& gs) {
+  // min(SV) over the current view: everything numbered <= floor has been
+  // received by every member and can be discarded (§5.1).
+  Counter floor = kCounterMax;
+  for (ProcessId p : gs.view.members) {
+    auto it = gs.sv.find(p);
+    floor = std::min(floor, it != gs.sv.end() ? it->second : 0);
+  }
+  if (floor == 0 || floor == kCounterMax) return;
+  for (auto& [emitter, msgs] : gs.retained) {
+    msgs.erase(msgs.begin(), msgs.upper_bound(floor));
+  }
+}
+
+void Endpoint::clear_outstanding_echo(GroupState& gs, Counter oc,
+                                      Time now) {
+  for (auto it = gs.outstanding.begin(); it != gs.outstanding.end(); ++it) {
+    if (it->oc == oc) {
+      gs.outstanding.erase(it);
+      break;
+    }
+  }
+  // The send-blocking rules may have been waiting on this echo.
+  pump_sends(now);
+}
+
+void Endpoint::resubmit_outstanding(GroupState& gs, Time now) {
+  // After a view change replaced the sequencer, re-submit every forward
+  // that was never echoed; the (origin, origin_counter) dedup at the new
+  // sequencer and at receivers makes this idempotent.
+  if (gs.outstanding.empty()) return;
+  std::vector<OutstandingFwd> copy(gs.outstanding.begin(),
+                                   gs.outstanding.end());
+  const ProcessId seq = sequencer(gs);
+  for (const auto& o : copy) {
+    FwdMsg f;
+    f.group = gs.id;
+    f.origin = self_;
+    f.origin_counter = o.oc;
+    f.payload = o.payload;
+    if (seq == self_) {
+      handle_fwd(gs, f, now);
+    } else {
+      hooks_.send(seq, f.encode());
+    }
+  }
+}
+
+}  // namespace newtop

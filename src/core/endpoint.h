@@ -1,0 +1,356 @@
+// The Newtop protocol engine.
+//
+// One Endpoint embodies one process Pi: its logical clock, its membership
+// in any number of groups, the symmetric/asymmetric/mixed-mode total order
+// machinery (§4), and the fault-tolerant membership, recovery, stability
+// and group-formation services (§5).
+//
+// The engine is a deterministic state machine. It performs no I/O, owns no
+// threads and reads no clocks: inputs are `on_message` (a payload arriving
+// on the reliable FIFO transport), `on_tick` (time passing) and the
+// application API; outputs flow through the EndpointHooks callbacks. Hosts
+// (the discrete-event simulator, the threaded runtime) own time and I/O.
+// This is what makes the adversarial schedules of the paper's Examples 1-3
+// replayable in tests.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/lamport.h"
+#include "core/types.h"
+#include "core/wire.h"
+#include "sim/time.h"
+#include "util/codec.h"
+
+namespace newtop {
+
+using sim::Time;
+
+// A message handed to the application.
+struct Delivery {
+  GroupId group = 0;
+  ProcessId sender = 0;   // m.s — always a member of the delivery view (MD1)
+  Counter counter = 0;    // m.c — the total-order position
+  ViewSeq view_seq = 0;   // r of the view it was delivered in
+  util::Bytes payload;
+};
+
+enum class FormationOutcome : std::uint8_t {
+  kFormed = 0,
+  kVetoed = 1,
+  kTimedOut = 2,
+};
+
+// Host-provided callbacks. `send` must provide the paper's transport
+// guarantee: FIFO, uncorrupted delivery to live connected peers (the
+// transport::Router does). Callbacks may re-enter the endpoint's API.
+struct EndpointHooks {
+  std::function<void(ProcessId to, util::Bytes data)> send;
+  std::function<void(const Delivery&)> deliver;
+  std::function<void(GroupId, const View&)> view_change;
+  std::function<void(GroupId, FormationOutcome)> formation_result;
+  // Vote on an invitation to form a group (§5.3 step 2). Default: yes.
+  std::function<bool(const FormInviteMsg&)> accept_invite;
+};
+
+struct EndpointStats {
+  std::uint64_t app_multicasts = 0;
+  std::uint64_t nulls_sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t suspects_sent = 0;
+  std::uint64_t refutes_sent = 0;
+  std::uint64_t confirms_sent = 0;
+  std::uint64_t views_installed = 0;
+  std::uint64_t messages_recovered = 0;
+  std::uint64_t messages_discarded = 0;  // failed-sender discards (§5.2 viii)
+  std::uint64_t pending_held = 0;        // messages held under suspicion
+  std::uint64_t self_suspected = 0;      // times we saw a suspicion of self
+  std::uint64_t sends_blocked = 0;       // mixed-mode blocking rule stalls
+  std::uint64_t sends_flow_blocked = 0;  // flow-control stalls
+  std::uint64_t fwds_sent = 0;
+  std::uint64_t echoes_sequenced = 0;    // forwards we sequenced for others
+};
+
+class Endpoint {
+ public:
+  Endpoint(ProcessId self, Config config, EndpointHooks hooks);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // ------------------------------------------------------------------
+  // Application API
+  // ------------------------------------------------------------------
+
+  // Static bootstrap: installs V0 = members directly. Every member must
+  // call this with identical arguments (the paper's "when gx is initially
+  // formed, each functioning Pi installs an initial view V0"), and — on
+  // hosts where members bootstrap asynchronously (threads, real networks)
+  // — BEFORE any member multicasts: a message arriving for a group the
+  // receiver has not yet created is dropped as not-a-member. Use
+  // initiate_group for race-free dynamic creation; it defers application
+  // sends until every member has acknowledged the group (§5.3 step 5).
+  void create_group(GroupId g, std::vector<ProcessId> members,
+                    GroupOptions options, Time now);
+
+  // Dynamic group formation (§5.3): runs the two-phase invite and the
+  // start-group agreement; outcome reported via hooks.formation_result.
+  void initiate_group(GroupId g, std::vector<ProcessId> members,
+                      GroupOptions options, Time now);
+
+  // Multicasts payload to the group. May queue locally (mixed-mode
+  // blocking rule, flow control, formation in progress); queued sends are
+  // emitted in order as they become eligible. Returns false if this
+  // process is not a member of g.
+  bool multicast(GroupId g, util::Bytes payload, Time now);
+
+  // Voluntary departure (§5): announces a final ordered Leave message and
+  // drops all local state for g. Remaining members agree on the departure
+  // through the regular membership protocol with ln = the Leave's number.
+  void leave_group(GroupId g, Time now);
+
+  // ------------------------------------------------------------------
+  // Transport and timer inputs
+  // ------------------------------------------------------------------
+
+  // A payload delivered by the reliable FIFO transport from `from`.
+  void on_message(ProcessId from, const util::Bytes& data, Time now);
+
+  // Drives time-silence (ω), the failure suspector (Ω) and formation
+  // timeouts. Call at least every ω/2.
+  void on_tick(Time now);
+
+  // ------------------------------------------------------------------
+  // Introspection (tests, benchmarks, examples)
+  // ------------------------------------------------------------------
+
+  ProcessId self() const { return self_; }
+  Counter lc() const { return lc_.value(); }
+  bool is_member(GroupId g) const { return groups_.count(g) > 0; }
+  const View* view(GroupId g) const;
+  SignatureView signature_view(GroupId g) const;
+  std::vector<GroupId> group_ids() const;
+  ProcessId sequencer_of(GroupId g) const;
+  bool open_for_app(GroupId g) const;
+  Counter group_d(GroupId g) const;  // D_{x,i}
+  Counter global_d() const;          // D_i = min over groups
+  std::size_t queued_deliveries() const { return queue_.size(); }
+  std::size_t queued_sends() const { return pending_sends_.size(); }
+  std::size_t retained_messages(GroupId g) const;
+  std::size_t own_unstable(GroupId g) const;
+  // True while this endpoint holds an own (suspector-confirmed) suspicion
+  // of p in group g.
+  bool suspects(GroupId g, ProcessId p) const;
+  const EndpointStats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  // ---- Internal state ------------------------------------------------
+
+  // A pending view change: detection agreed, waiting for the delivery
+  // barrier of update_view(F, lnmn) (§5.2 viii).
+  struct Installing {
+    std::vector<ProcessId> failed;
+    Counter lnmn = 0;
+  };
+
+  // Group formation in progress (§5.3).
+  struct FormationState {
+    FormInviteMsg invite;
+    std::map<ProcessId, bool> votes;   // received yes/no, including own
+    bool activated = false;            // step 4 reached
+    std::set<ProcessId> start_seen;    // StartGroup senders
+    Counter start_max = 0;             // max start-number seen
+    Time started_at = 0;
+    bool initiator_vetoed = false;
+  };
+
+  // Per-group membership agreement state (the GV process of §5.2).
+  struct GvState {
+    // Own suspicions {Pk, ln} (entered on suspector notification or via
+    // a Leave announcement / reciprocation).
+    std::set<Suspicion> suspicions;
+    // For each own suspicion, the members whose matching suspect message
+    // we have received (condition v).
+    std::map<Suspicion, std::set<ProcessId>> endorsements;
+    // Suspicions of others we have not adopted (judgement suspended).
+    std::map<Suspicion, std::set<ProcessId>> gossip;
+    // Ordered messages from processes we currently suspect, held pending
+    // the agreement outcome (released on refute, filtered on confirm).
+    std::map<ProcessId, std::vector<OrderedMsg>> pending;
+    // Agreed detections awaiting installation, FIFO (one barrier at a
+    // time keeps the installation order identical everywhere).
+    std::deque<std::vector<Suspicion>> waves;
+    // Confirm messages received while a barrier was active, with sender.
+    std::deque<std::pair<ProcessId, ConfirmMsg>> deferred_confirms;
+  };
+
+  struct OutstandingFwd {
+    Counter oc;
+    util::Bytes payload;
+  };
+
+  struct GroupState {
+    GroupId id = 0;
+    GroupOptions opts;
+    View view;
+    bool open = false;  // true once app sends are allowed (step 5 / bootstrap)
+
+    // Ordering state. rv[p] = highest counter received from emitter p
+    // (the Receive Vector of §4.1; in asymmetric groups rv[sequencer] is
+    // the "number of the last received message from the sequencer").
+    std::map<ProcessId, Counter> rv;
+    // Asymmetric: last echo counter attributed to each origin (suspicion
+    // ln space for non-sequencer members) and last origin-counter
+    // accepted per origin (failover dedup).
+    std::map<ProcessId, Counter> attributed;
+    std::map<ProcessId, Counter> oc_seen;
+    // Sequencer role: highest origin-counter forwarded per origin.
+    std::map<ProcessId, Counter> oc_forwarded;
+    // Origin role: unicast forwards not yet echoed back (drives the
+    // send-blocking rules of §4.2/§4.3 and failover re-submission).
+    std::deque<OutstandingFwd> outstanding;
+
+    // Stability (§5.1): sv[p] = latest ldn received from p; messages
+    // numbered <= min(sv) over the view are stable and discarded.
+    std::map<ProcessId, Counter> sv;
+    // Unstable retention: emitter -> counter -> raw encoding, for refute
+    // piggybacking. Nulls are not retained (they carry no content and
+    // rv-recovery is handled by the refuter's claimed_last).
+    std::map<ProcessId, std::map<Counter, util::Bytes>> retained;
+
+    // Liveness bookkeeping.
+    Time last_sent = 0;                       // ordered-plane, for ω
+    std::map<ProcessId, Time> last_activity;  // any traffic, for Ω
+    std::set<ProcessId> left;                 // announced voluntary Leave
+
+    GvState gv;
+    std::optional<Installing> installing;
+    std::unique_ptr<FormationState> forming;
+    std::uint32_t excluded_count = 0;  // signature views (§6)
+    // Set when the application leaves the group while a handler is on the
+    // stack: the state is skipped by all lookups and erased once the
+    // outermost handler returns (std::map erase would otherwise invalidate
+    // references held by callers up the stack).
+    bool defunct = false;
+  };
+
+  // Global delivery queue key: safe2's "non-decreasing order of their
+  // numbers [with] a fixed pre-determined delivery order ... on messages
+  // of equal number" — (counter, group, sender) is identical at every
+  // process.
+  struct QueueKey {
+    Counter counter;
+    GroupId group;
+    ProcessId sender;
+    auto operator<=>(const QueueKey&) const = default;
+  };
+
+  struct PendingSend {
+    GroupId group;
+    util::Bytes payload;
+  };
+
+  // RAII re-entrancy scope for public entry points: group erasures
+  // requested while any handler is on the stack are deferred until the
+  // outermost scope exits (std::map::erase would invalidate references
+  // held by frames above).
+  class Reentrancy {
+   public:
+    explicit Reentrancy(Endpoint& e) : e_(e) { ++e_.depth_; }
+    ~Reentrancy() {
+      if (--e_.depth_ == 0) e_.flush_erasures();
+    }
+    Reentrancy(const Reentrancy&) = delete;
+    Reentrancy& operator=(const Reentrancy&) = delete;
+
+   private:
+    Endpoint& e_;
+  };
+  void flush_erasures();
+
+  // ---- Ordering plane (endpoint.cpp) ----------------------------------
+  GroupState* find_group(GroupId g);
+  const GroupState* find_group(GroupId g) const;
+  Counter group_d(const GroupState& gs) const;
+  bool counts_for_global_d(const GroupState& gs) const;
+  void emit_ordered(GroupState& gs, MsgType type, util::Bytes payload,
+                    Time now);
+  void emit_fwd(GroupState& gs, util::Bytes payload, Time now);
+  void handle_fwd(GroupState& gs, const FwdMsg& fwd, Time now);
+  void process_ordered(ProcessId link_from, const OrderedMsg& msg, Time now,
+                       bool via_recovery);
+  void pump_deliveries();
+  void pump_sends(Time now);
+  bool send_eligible(const GroupState& gs) const;
+  void deliver_app(const GroupState& gs, const OrderedMsg& msg);
+  void advance_stability(GroupState& gs);
+  void clear_outstanding_echo(GroupState& gs, Counter oc, Time now);
+  void resubmit_outstanding(GroupState& gs, Time now);
+  void send_to_others(const GroupState& gs, const util::Bytes& raw);
+  ProcessId sequencer(const GroupState& gs) const;
+
+  // ---- Membership service (endpoint_membership.cpp) -------------------
+  void tick_suspector(GroupState& gs, Time now);
+  Counter ln_of(const GroupState& gs, ProcessId p) const;
+  void add_suspicion(GroupState& gs, Suspicion s, Time now);
+  void handle_suspect(ProcessId from, const SuspectMsg& msg, Time now);
+  void handle_refute(ProcessId from, const RefuteMsg& msg, Time now);
+  void handle_confirm(ProcessId from, const ConfirmMsg& msg, Time now);
+  void refute(GroupState& gs, Suspicion s, Time now);
+  void resolve_refuted(GroupState& gs, Suspicion s, Time now);
+  void check_consensus(GroupState& gs, Time now);
+  void adopt_wave(GroupState& gs, std::vector<Suspicion> detection,
+                  Time now);
+  void begin_barrier(GroupState& gs, Time now);
+  void try_complete_barrier(GroupState& gs, Time now);
+  void install_view(GroupState& gs, Time now);
+  void mcast_control(const GroupState& gs, const util::Bytes& raw);
+  std::vector<util::Bytes> recovery_payload(const GroupState& gs,
+                                            ProcessId suspect,
+                                            Counter above) const;
+  bool has_suspicion_on(const GroupState& gs, ProcessId p) const;
+  bool in_pending_wave(const GroupState& gs, ProcessId p) const;
+  void raise_stream_floor(GroupState& gs, ProcessId p, Counter to);
+
+  // ---- Group formation (endpoint_formation.cpp) -----------------------
+  void handle_form_invite(ProcessId from, const FormInviteMsg& msg,
+                          Time now);
+  void handle_form_reply(ProcessId from, const FormReplyMsg& msg, Time now);
+  void handle_start_group(GroupState& gs, const OrderedMsg& msg, Time now);
+  void maybe_activate_formation(GroupState& gs, Time now);
+  void maybe_complete_formation(GroupState& gs, Time now);
+  void abort_formation(GroupId g, FormationOutcome outcome);
+  void tick_formation(GroupState& gs, Time now);
+
+  ProcessId self_;
+  Config cfg_;
+  EndpointHooks hooks_;
+  LamportClock lc_;
+  std::map<GroupId, GroupState> groups_;
+  std::map<QueueKey, OrderedMsg> queue_;
+  std::deque<PendingSend> pending_sends_;
+  EndpointStats stats_;
+  // Form-group replies can overtake the invite (they travel on different
+  // channels); buffered here until the invite arrives.
+  struct EarlyReply {
+    ProcessId from;
+    FormReplyMsg msg;
+    Time at;
+  };
+  std::map<GroupId, std::vector<EarlyReply>> early_replies_;
+  // Groups erased during processing are deferred to avoid iterator
+  // invalidation while handlers run.
+  std::vector<GroupId> pending_erase_;
+  int depth_ = 0;  // re-entrancy depth for deferred erase
+};
+
+}  // namespace newtop

@@ -1,0 +1,268 @@
+// Dynamic group formation (§5.3): the two-phase invite (steps 1-3) and
+// the start-group number agreement (steps 4-5).
+//
+// The protocol's purpose is to splice a brand-new group into the logical
+// clock fabric without disturbing the total order of groups its members
+// already belong to: until a start-group message is received from every
+// member of the current view, the new group's D is pinned and only ever
+// raised to incoming start-numbers, so no message — in this group or,
+// through D_i = min_x D_{x,i}, any other — can overtake the agreement.
+#include <algorithm>
+
+#include "core/endpoint.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace newtop {
+
+void Endpoint::initiate_group(GroupId g, std::vector<ProcessId> members,
+                              GroupOptions options, Time now) {
+  struct DepthGuard {
+    Endpoint* e;
+    ~DepthGuard() {
+      if (--e->depth_ == 0) {
+        for (GroupId gid : e->pending_erase_) e->groups_.erase(gid);
+        e->pending_erase_.clear();
+      }
+    }
+  };
+  ++depth_;
+  DepthGuard guard{this};
+
+  NEWTOP_CHECK_MSG(groups_.count(g) == 0, "group id already in use");
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  NEWTOP_CHECK_MSG(
+      std::count(members.begin(), members.end(), self_) == 1,
+      "initiate_group: initiator must be an intended member");
+
+  auto [it, inserted] = groups_.try_emplace(g);
+  NEWTOP_CHECK(inserted);
+  GroupState& gs = it->second;
+  gs.id = g;
+  gs.opts = options;
+  gs.open = false;
+  gs.forming = std::make_unique<FormationState>();
+  gs.forming->started_at = now;
+  gs.forming->invite.group = g;
+  gs.forming->invite.initiator = self_;
+  gs.forming->invite.options = options;
+  gs.forming->invite.members = members;
+
+  // Step 1: invite every intended member. The initiator's own yes is
+  // withheld until the others have all said yes (step 3).
+  const util::Bytes raw = gs.forming->invite.encode();
+  for (ProcessId p : members) {
+    if (p != self_) hooks_.send(p, raw);
+  }
+  // Degenerate single-member group: steps 2-3 are vacuous.
+  if (members.size() == 1) {
+    gs.forming->votes[self_] = true;
+    maybe_activate_formation(gs, now);
+  }
+  // Replies may already be buffered (reply overtook our own invite: not
+  // possible for the initiator, but keep the path uniform).
+  auto eit = early_replies_.find(g);
+  if (eit != early_replies_.end()) {
+    std::vector<EarlyReply> replies = std::move(eit->second);
+    early_replies_.erase(eit);
+    for (const auto& r : replies) handle_form_reply(r.from, r.msg, now);
+  }
+}
+
+void Endpoint::handle_form_invite(ProcessId from, const FormInviteMsg& msg,
+                                  Time now) {
+  (void)from;
+  if (groups_.count(msg.group) > 0) return;  // duplicate / id collision
+  if (std::count(msg.members.begin(), msg.members.end(), self_) == 0)
+    return;  // not addressed to us
+
+  auto [it, inserted] = groups_.try_emplace(msg.group);
+  NEWTOP_CHECK(inserted);
+  GroupState& gs = it->second;
+  gs.id = msg.group;
+  gs.opts = msg.options;
+  gs.open = false;
+  gs.forming = std::make_unique<FormationState>();
+  gs.forming->started_at = now;
+  gs.forming->invite = msg;
+  std::sort(gs.forming->invite.members.begin(),
+            gs.forming->invite.members.end());
+
+  // Step 2: diffuse our decision to every intended member.
+  const bool yes = hooks_.accept_invite ? hooks_.accept_invite(msg) : true;
+  FormReplyMsg reply;
+  reply.group = msg.group;
+  reply.voter = self_;
+  reply.yes = yes;
+  const util::Bytes raw = reply.encode();
+  for (ProcessId p : gs.forming->invite.members) {
+    if (p != self_) hooks_.send(p, raw);
+  }
+  gs.forming->votes[self_] = yes;
+  if (!yes) {
+    abort_formation(msg.group, FormationOutcome::kVetoed);
+    return;
+  }
+  // Consume replies that overtook the invite.
+  auto eit = early_replies_.find(msg.group);
+  if (eit != early_replies_.end()) {
+    std::vector<EarlyReply> replies = std::move(eit->second);
+    early_replies_.erase(eit);
+    for (const auto& r : replies) {
+      handle_form_reply(r.from, r.msg, now);
+      if (find_group(msg.group) == nullptr) return;  // vetoed meanwhile
+    }
+  }
+  maybe_activate_formation(gs, now);
+}
+
+void Endpoint::handle_form_reply(ProcessId from, const FormReplyMsg& msg,
+                                 Time now) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr || !gs->forming) {
+    // The reply overtook the invite (distinct channels); hold it.
+    if (gs == nullptr) {
+      early_replies_[msg.group].push_back(EarlyReply{from, msg, now});
+    }
+    return;
+  }
+  FormationState& f = *gs->forming;
+  if (std::count(f.invite.members.begin(), f.invite.members.end(),
+                 msg.voter) == 0) {
+    return;  // voter is not an intended member
+  }
+  if (!msg.yes) {
+    // Step 3: "A 'no' message acts as a 'veto'".
+    if (!f.activated) abort_formation(msg.group, FormationOutcome::kVetoed);
+    return;
+  }
+  f.votes[msg.voter] = true;
+  tick_formation(*gs, now);  // the initiator may now cast its own yes
+  gs = find_group(msg.group);
+  if (gs != nullptr && gs->forming) maybe_activate_formation(*gs, now);
+}
+
+void Endpoint::maybe_activate_formation(GroupState& gs, Time now) {
+  FormationState& f = *gs.forming;
+  if (f.activated) return;
+  // Step 4: a yes from every proposed member.
+  for (ProcessId p : f.invite.members) {
+    auto it = f.votes.find(p);
+    if (it == f.votes.end() || !it->second) return;
+  }
+  f.activated = true;
+  gs.view.seq = 0;
+  gs.view.members = f.invite.members;
+  gs.last_sent = now;
+  for (ProcessId p : gs.view.members) {
+    gs.rv[p] = 0;
+    if (p != self_) gs.last_activity[p] = now;
+  }
+  // "The first message Pk sends in the new group is a special message
+  // start-group ... the start-number is set to the m.c of the message."
+  emit_ordered(gs, MsgType::kStartGroup, {}, now);
+}
+
+void Endpoint::handle_start_group(GroupState& gs, const OrderedMsg& msg,
+                                  Time now) {
+  if (!gs.forming) return;  // formation already complete; stale straggler
+  FormationState& f = *gs.forming;
+  if (std::count(f.invite.members.begin(), f.invite.members.end(),
+                 msg.sender) == 0) {
+    return;
+  }
+  lc_.observe(msg.counter);  // CA2
+  f.start_seen.insert(msg.sender);
+  // Step 5: "Dn,k is not allowed to be modified except when Pk receives a
+  // start-group message with start-number larger than Dn,k".
+  f.start_max = std::max(f.start_max, msg.counter);
+  if (msg.sender != self_) gs.last_activity[msg.sender] = now;
+  if (f.activated) {
+    Counter& last = gs.rv[msg.sender];
+    last = std::max(last, msg.counter);
+  }
+  maybe_complete_formation(gs, now);
+}
+
+void Endpoint::maybe_complete_formation(GroupState& gs, Time now) {
+  if (!gs.forming || !gs.forming->activated) return;
+  FormationState& f = *gs.forming;
+  // Step 5: a start-group from every member of the *current* view (the
+  // view may have shrunk while we waited — GV runs in parallel).
+  for (ProcessId p : gs.view.members) {
+    if (f.start_seen.count(p) == 0) return;
+  }
+  const Counter start_max = f.start_max;
+  for (ProcessId p : gs.view.members) {
+    Counter& last = gs.rv[p];
+    last = std::max(last, start_max);
+  }
+  lc_.raise_to(start_max);
+  gs.forming.reset();
+  gs.open = true;
+  if (hooks_.formation_result) {
+    hooks_.formation_result(gs.id, FormationOutcome::kFormed);
+  }
+  if (find_group(gs.id) == nullptr) return;
+  pump_deliveries();
+  if (find_group(gs.id) == nullptr) return;
+  pump_sends(now);
+}
+
+void Endpoint::abort_formation(GroupId g, FormationOutcome outcome) {
+  GroupState* gs = find_group(g);
+  if (gs == nullptr || !gs->forming || gs->forming->activated) return;
+  if (hooks_.formation_result) hooks_.formation_result(g, outcome);
+  gs = find_group(g);
+  if (gs == nullptr) return;
+  gs->defunct = true;
+  pending_erase_.push_back(g);
+}
+
+void Endpoint::tick_formation(GroupState& gs, Time now) {
+  FormationState& f = *gs.forming;
+  if (f.activated) return;  // stragglers handled by the suspector now
+  const bool initiator = f.invite.initiator == self_;
+  if (initiator && f.votes.count(self_) == 0) {
+    bool all_others_yes = true;
+    for (ProcessId p : f.invite.members) {
+      if (p == self_) continue;
+      auto it = f.votes.find(p);
+      if (it == f.votes.end() || !it->second) {
+        all_others_yes = false;
+        break;
+      }
+    }
+    FormReplyMsg reply;
+    reply.group = gs.id;
+    reply.voter = self_;
+    if (all_others_yes) {
+      // Step 3: cast our own yes, diffused like the others'.
+      reply.yes = true;
+      const util::Bytes raw = reply.encode();
+      for (ProcessId p : f.invite.members) {
+        if (p != self_) hooks_.send(p, raw);
+      }
+      f.votes[self_] = true;
+      maybe_activate_formation(gs, now);
+      return;
+    }
+    if (now - f.started_at >= cfg_.formation_timeout) {
+      reply.yes = false;  // veto: some member never answered
+      const util::Bytes raw = reply.encode();
+      for (ProcessId p : f.invite.members) {
+        if (p != self_) hooks_.send(p, raw);
+      }
+      abort_formation(gs.id, FormationOutcome::kTimedOut);
+      return;
+    }
+  }
+  // Invitee fallback: if the initiator died before completing step 3
+  // nobody will ever veto; give up unilaterally after a generous wait.
+  if (now - f.started_at >= 2 * cfg_.formation_timeout) {
+    abort_formation(gs.id, FormationOutcome::kTimedOut);
+  }
+}
+
+}  // namespace newtop

@@ -1,0 +1,492 @@
+// The membership service (§5.2): per-group failure suspector, the
+// suspect/refute/confirmed agreement protocol (steps i-vii), and the
+// view-installation barrier update_view(F, lnmn) (step viii).
+//
+// Design notes beyond the paper's event list:
+//  - Suspicion identity is the exact pair {Pk, ln}. Members whose last
+//    received message from Pk differ exchange refutes (with recovery
+//    piggybacks) until their ln values converge, after which endorsement
+//    and confirmation proceed — this is how the paper's "identical
+//    detection sets in identical order" comes about.
+//  - One wave at a time: a confirmed detection must finish its delivery
+//    barrier before the next confirm is processed (deferred_confirms),
+//    which keeps the installation order identical at all members.
+//  - Refutes carry `claimed_last` so a suspector whose missing messages
+//    were nulls (not retained) can still advance its receive vector: every
+//    *content* message in the gap is either piggybacked or already stable
+//    (stable = received by all current-view members, §5.1).
+#include <algorithm>
+
+#include "core/endpoint.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace newtop {
+
+void Endpoint::mcast_control(const GroupState& gs, const util::Bytes& raw) {
+  for (ProcessId p : gs.view.members) {
+    if (p != self_) hooks_.send(p, raw);
+  }
+}
+
+bool Endpoint::has_suspicion_on(const GroupState& gs, ProcessId p) const {
+  for (const auto& s : gs.gv.suspicions) {
+    if (s.process == p) return true;
+  }
+  return false;
+}
+
+bool Endpoint::in_pending_wave(const GroupState& gs, ProcessId p) const {
+  if (gs.installing) {
+    const auto& f = gs.installing->failed;
+    if (std::count(f.begin(), f.end(), p) > 0) return true;
+  }
+  for (const auto& wave : gs.gv.waves) {
+    for (const auto& s : wave) {
+      if (s.process == p) return true;
+    }
+  }
+  return false;
+}
+
+Counter Endpoint::ln_of(const GroupState& gs, ProcessId p) const {
+  // The counter space in which suspicions about p are expressed: p's own
+  // emission stream, except for non-sequencer members of asymmetric
+  // groups, whose ordered messages reach the group as sequencer echoes —
+  // there the last *attributed* echo counter is used, which is identical
+  // at every member and therefore convergeable.
+  if (gs.opts.mode == OrderMode::kAsymmetric && p != sequencer(gs)) {
+    auto it = gs.attributed.find(p);
+    return it != gs.attributed.end() ? it->second : 0;
+  }
+  auto it = gs.rv.find(p);
+  return it != gs.rv.end() ? it->second : 0;
+}
+
+void Endpoint::raise_stream_floor(GroupState& gs, ProcessId p, Counter to) {
+  // Accepts another member's claim that p's stream reached `to`. Safe for
+  // the delivery stream because every content message below `to` that we
+  // are missing is piggybacked alongside the claim or stable (see header
+  // comment); the remaining gap is nulls.
+  if (gs.opts.mode == OrderMode::kAsymmetric && p != sequencer(gs)) {
+    Counter& a = gs.attributed[p];
+    a = std::max(a, to);
+    return;
+  }
+  Counter& last = gs.rv[p];
+  last = std::max(last, to);
+}
+
+// ---------------------------------------------------------------------
+// Suspector (the S module of §5.2)
+// ---------------------------------------------------------------------
+
+void Endpoint::tick_suspector(GroupState& gs, Time now) {
+  if (gs.view.members.size() <= 1) return;
+  for (ProcessId p : gs.view.members) {
+    if (p == self_ || gs.left.count(p) > 0) continue;
+    if (has_suspicion_on(gs, p) || in_pending_wave(gs, p)) continue;
+    auto it = gs.last_activity.find(p);
+    if (it == gs.last_activity.end()) {
+      gs.last_activity[p] = now;  // first sighting of this member
+      continue;
+    }
+    if (now - it->second >= cfg_.omega_big) {
+      add_suspicion(gs, Suspicion{p, ln_of(gs, p)}, now);
+      if (find_group(gs.id) == nullptr) return;  // group dissolved
+    }
+  }
+}
+
+void Endpoint::add_suspicion(GroupState& gs, Suspicion s, Time now) {
+  if (s.process == self_ || !gs.view.contains(s.process)) return;
+  if (has_suspicion_on(gs, s.process) || in_pending_wave(gs, s.process))
+    return;
+  gs.gv.suspicions.insert(s);
+  // Members whose matching suspect message we already heard as gossip
+  // become endorsers.
+  auto git = gs.gv.gossip.find(s);
+  if (git != gs.gv.gossip.end()) {
+    gs.gv.endorsements[s] = std::move(git->second);
+    gs.gv.gossip.erase(git);
+  }
+  ++stats_.suspects_sent;
+  SuspectMsg m;
+  m.group = gs.id;
+  m.suspicion = s;
+  mcast_control(gs, m.encode());  // step (i)
+  check_consensus(gs, now);
+}
+
+// ---------------------------------------------------------------------
+// Agreement steps (ii)-(vii)
+// ---------------------------------------------------------------------
+
+void Endpoint::handle_suspect(ProcessId from, const SuspectMsg& msg,
+                              Time now) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr) return;
+  if (!gs->view.contains(from)) return;  // stale sender
+  gs->last_activity[from] = now;
+  const Suspicion s = msg.suspicion;
+  if (s.process == self_) {
+    // Step (ii): "if Pk = Pi then discard" — hope for a refutation from a
+    // member that has seen our newer traffic.
+    ++stats_.self_suspected;
+    return;
+  }
+  if (!gs->view.contains(s.process) || in_pending_wave(*gs, s.process))
+    return;
+  if (gs->gv.suspicions.count(s) > 0) {
+    // Step (ii), matching case: GVj "holds the same suspicion as itself".
+    gs->gv.endorsements[s].insert(from);
+    check_consensus(*gs, now);
+    return;
+  }
+  // Step (iii): refute if we have already received something newer.
+  if (ln_of(*gs, s.process) > s.ln) {
+    refute(*gs, s, now);
+    return;
+  }
+  // Judgement suspended, pending confirmation from our own suspector.
+  gs->gv.gossip[s].insert(from);
+}
+
+void Endpoint::refute(GroupState& gs, Suspicion s, Time now) {
+  (void)now;
+  ++stats_.refutes_sent;
+  RefuteMsg r;
+  r.group = gs.id;
+  r.suspicion = s;
+  r.claimed_last = ln_of(gs, s.process);
+  r.recovered = recovery_payload(gs, s.process, s.ln);
+  mcast_control(gs, r.encode());
+}
+
+std::vector<util::Bytes> Endpoint::recovery_payload(const GroupState& gs,
+                                                    ProcessId suspect,
+                                                    Counter above) const {
+  // Symmetric groups: the suspector misses messages emitted by the
+  // suspect. Asymmetric groups: ordered traffic is the sequencer's echo
+  // stream, so recovery supplies retained sequencer emissions above `ln`
+  // (a superset of the suspect-attributed gap; duplicates are cheap, a
+  // hole is not).
+  const ProcessId emitter = gs.opts.mode == OrderMode::kAsymmetric
+                                ? sequencer(gs)
+                                : suspect;
+  std::vector<util::Bytes> out;
+  auto it = gs.retained.find(emitter);
+  if (it == gs.retained.end()) return out;
+  for (auto mit = it->second.upper_bound(above); mit != it->second.end();
+       ++mit) {
+    out.push_back(mit->second);
+  }
+  return out;
+}
+
+void Endpoint::handle_refute(ProcessId from, const RefuteMsg& msg,
+                             Time now) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr) return;
+  if (!gs->view.contains(from)) return;
+  gs->last_activity[from] = now;
+  const Suspicion s = msg.suspicion;
+  if (!gs->view.contains(s.process) || in_pending_wave(*gs, s.process))
+    return;
+
+  // Recovery first: piggybacked messages advance our receive vector and
+  // delivery queue before we re-evaluate anything (§5.2 iv).
+  for (const auto& raw : msg.recovered) {
+    auto m = OrderedMsg::decode(raw);
+    if (!m || m->group != gs->id) continue;
+    ++stats_.messages_recovered;
+    process_ordered(m->emitter, *m, now, /*via_recovery=*/true);
+    gs = find_group(msg.group);
+    if (gs == nullptr) return;
+  }
+  raise_stream_floor(*gs, s.process, msg.claimed_last);
+
+  if (gs->gv.suspicions.count(s) > 0) {
+    resolve_refuted(*gs, s, now);
+  } else {
+    gs->gv.gossip.erase(s);
+  }
+  pump_deliveries();
+  gs = find_group(msg.group);
+  if (gs == nullptr) return;
+  if (gs->installing) try_complete_barrier(*gs, now);
+}
+
+void Endpoint::resolve_refuted(GroupState& gs, Suspicion s, Time now) {
+  // Step (iv): drop the suspicion, recover, grant the process a fresh Ω
+  // window, release held messages and re-broadcast the refutation so
+  // other suspectors converge too.
+  gs.gv.suspicions.erase(s);
+  gs.gv.endorsements.erase(s);
+  gs.gv.gossip.erase(s);
+  gs.last_activity[s.process] = now;
+  auto pit = gs.gv.pending.find(s.process);
+  if (pit != gs.gv.pending.end()) {
+    std::vector<OrderedMsg> held = std::move(pit->second);
+    gs.gv.pending.erase(pit);
+    for (const auto& m : held) {
+      process_ordered(s.process, m, now, /*via_recovery=*/false);
+      if (find_group(gs.id) == nullptr) return;
+    }
+  }
+  refute(gs, s, now);
+}
+
+void Endpoint::check_consensus(GroupState& gs, Time now) {
+  // Condition (v): every own suspicion is endorsed by every member that
+  // is neither suspected nor already detected. One wave at a time.
+  if (gs.installing || !gs.gv.waves.empty()) return;
+  if (gs.gv.suspicions.empty()) return;
+  std::set<ProcessId> suspected;
+  for (const auto& s : gs.gv.suspicions) suspected.insert(s.process);
+  for (const auto& s : gs.gv.suspicions) {
+    auto eit = gs.gv.endorsements.find(s);
+    for (ProcessId p : gs.view.members) {
+      if (p == self_ || suspected.count(p) > 0) continue;
+      if (eit == gs.gv.endorsements.end() || eit->second.count(p) == 0)
+        return;
+    }
+  }
+  std::vector<Suspicion> detection(gs.gv.suspicions.begin(),
+                                   gs.gv.suspicions.end());
+  gs.gv.suspicions.clear();
+  gs.gv.endorsements.clear();
+  ++stats_.confirms_sent;
+  ConfirmMsg c;
+  c.group = gs.id;
+  c.detection = detection;
+  mcast_control(gs, c.encode());
+  adopt_wave(gs, std::move(detection), now);
+}
+
+void Endpoint::handle_confirm(ProcessId from, const ConfirmMsg& msg,
+                              Time now) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr) return;
+  if (!gs->view.contains(from)) return;
+  gs->last_activity[from] = now;
+
+  // Step (vii): we are in the detection — the sender has succeeded in
+  // suspecting us; reciprocate by suspecting it.
+  for (const auto& d : msg.detection) {
+    if (d.process == self_) {
+      ++stats_.self_suspected;
+      add_suspicion(*gs, Suspicion{from, ln_of(*gs, from)}, now);
+      return;
+    }
+  }
+
+  std::vector<Suspicion> relevant;
+  for (const auto& d : msg.detection) {
+    if (gs->view.contains(d.process) && !in_pending_wave(*gs, d.process)) {
+      relevant.push_back(d);
+    }
+  }
+  if (relevant.empty()) return;  // stale wave (already installed)
+
+  if (gs->installing || !gs->gv.waves.empty()) {
+    gs->gv.deferred_confirms.emplace_back(from, msg);
+    return;
+  }
+
+  // Step (vi), extended with forced adoption: the confirmer only
+  // confirms once every unsuspected member endorsed, so adopting is safe
+  // even for entries we had not suspected ourselves (e.g. we refuted late
+  // and lost the race — the "virtual partition" case).
+  for (const auto& d : relevant) {
+    for (auto it = gs->gv.suspicions.begin();
+         it != gs->gv.suspicions.end();) {
+      if (it->process == d.process) {
+        gs->gv.endorsements.erase(*it);
+        it = gs->gv.suspicions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = gs->gv.gossip.begin(); it != gs->gv.gossip.end();) {
+      if (it->first.process == d.process) {
+        it = gs->gv.gossip.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Ensure our stream bookkeeping can reach the barrier even if we
+    // never endorsed this ln (see raise_stream_floor contract).
+    raise_stream_floor(*gs, d.process, d.ln);
+  }
+  ++stats_.confirms_sent;
+  ConfirmMsg rebroadcast;
+  rebroadcast.group = gs->id;
+  rebroadcast.detection = relevant;
+  mcast_control(*gs, rebroadcast.encode());
+  adopt_wave(*gs, std::move(relevant), now);
+}
+
+// ---------------------------------------------------------------------
+// View installation (step viii)
+// ---------------------------------------------------------------------
+
+void Endpoint::adopt_wave(GroupState& gs, std::vector<Suspicion> detection,
+                          Time now) {
+  std::sort(detection.begin(), detection.end());
+  gs.gv.waves.push_back(std::move(detection));
+  if (!gs.installing) begin_barrier(gs, now);
+}
+
+void Endpoint::begin_barrier(GroupState& gs, Time now) {
+  NEWTOP_CHECK(!gs.installing && !gs.gv.waves.empty());
+  const std::vector<Suspicion>& detection = gs.gv.waves.front();
+  Installing inst;
+  inst.lnmn = kCounterMax;
+  for (const auto& s : detection) {
+    inst.failed.push_back(s.process);
+    inst.lnmn = std::min(inst.lnmn, s.ln);
+  }
+  std::sort(inst.failed.begin(), inst.failed.end());
+  const Counter lnmn = inst.lnmn;
+  const std::vector<ProcessId> failed = inst.failed;
+  gs.installing = std::move(inst);
+
+  auto is_failed = [&failed](ProcessId p) {
+    return std::binary_search(failed.begin(), failed.end(), p);
+  };
+
+  // Discard already-queued messages from detected processes numbered
+  // above lnmn — "even though it has been agreed that m was sent before
+  // Pk failed. This is a safety measure, necessary to preserve MD5"
+  // (Example 1).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->first.group == gs.id && it->first.counter > lnmn &&
+        (is_failed(it->second.sender) || is_failed(it->second.emitter))) {
+      ++stats_.messages_discarded;
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Retained copies above the cut must not be recovered later.
+  for (ProcessId p : failed) {
+    auto rit = gs.retained.find(p);
+    if (rit != gs.retained.end()) {
+      rit->second.erase(rit->second.upper_bound(lnmn), rit->second.end());
+    }
+    // Held messages from the suspects: re-process; the installing filter
+    // above keeps everything <= lnmn and discards the rest (§5.2:
+    // "pending messages ... are discarded").
+    auto pit = gs.gv.pending.find(p);
+    if (pit != gs.gv.pending.end()) {
+      std::vector<OrderedMsg> held = std::move(pit->second);
+      gs.gv.pending.erase(pit);
+      for (const auto& m : held) {
+        process_ordered(p, m, now, /*via_recovery=*/true);
+        if (find_group(gs.id) == nullptr) return;
+      }
+    }
+  }
+  try_complete_barrier(gs, now);
+}
+
+void Endpoint::try_complete_barrier(GroupState& gs, Time now) {
+  if (!gs.installing) return;
+  const Counter lnmn = gs.installing->lnmn;
+  // update_view(F, N) waits "until Pi is delivered the last m, m.c <= N".
+  // No further m <= lnmn can arrive once every relevant stream has passed
+  // lnmn (FIFO channels, increasing counters)...
+  if (gs.opts.mode == OrderMode::kAsymmetric) {
+    auto it = gs.rv.find(sequencer(gs));
+    if (it == gs.rv.end() || it->second < lnmn) return;
+  } else {
+    for (ProcessId p : gs.view.members) {
+      auto it = gs.rv.find(p);
+      if (it == gs.rv.end() || it->second < lnmn) return;
+    }
+  }
+  // ...and everything received with m.c <= lnmn has been delivered.
+  for (const auto& [key, m] : queue_) {
+    if (key.counter > lnmn) break;  // queue is counter-ordered
+    if (key.group == gs.id) return;
+  }
+  install_view(gs, now);
+}
+
+void Endpoint::install_view(GroupState& gs, Time now) {
+  NEWTOP_CHECK(gs.installing && !gs.gv.waves.empty());
+  const std::vector<ProcessId> failed = gs.installing->failed;
+  gs.gv.waves.pop_front();
+  gs.installing.reset();
+
+  std::vector<ProcessId> survivors;
+  for (ProcessId p : gs.view.members) {
+    if (!std::binary_search(failed.begin(), failed.end(), p)) {
+      survivors.push_back(p);
+    }
+  }
+  const ProcessId old_sequencer = sequencer(gs);
+  gs.view.members = std::move(survivors);
+  gs.view.seq += 1;
+  gs.excluded_count += static_cast<std::uint32_t>(failed.size());
+  ++stats_.views_installed;
+
+  for (ProcessId p : failed) {
+    // "RV[k] := ∞; SV[k] := ∞" — drop the entries from the minima.
+    gs.rv.erase(p);
+    gs.sv.erase(p);
+    gs.attributed.erase(p);
+    gs.oc_seen.erase(p);
+    gs.oc_forwarded.erase(p);
+    gs.last_activity.erase(p);
+    gs.left.erase(p);
+    gs.retained.erase(p);
+    gs.gv.pending.erase(p);
+  }
+  // Purge agreement state that references the departed.
+  for (auto it = gs.gv.gossip.begin(); it != gs.gv.gossip.end();) {
+    if (!gs.view.contains(it->first.process)) {
+      it = gs.gv.gossip.erase(it);
+    } else {
+      for (ProcessId p : failed) it->second.erase(p);
+      ++it;
+    }
+  }
+  for (auto& [s, endorsers] : gs.gv.endorsements) {
+    for (ProcessId p : failed) endorsers.erase(p);
+  }
+
+  if (hooks_.view_change) hooks_.view_change(gs.id, gs.view);
+  GroupState* self_check = find_group(gs.id);
+  if (self_check == nullptr) return;  // callback left the group
+
+  // Sequencer failover (§4.2 extension, see DESIGN.md): re-submit
+  // un-echoed forwards to the new sequencer.
+  if (gs.opts.mode == OrderMode::kAsymmetric &&
+      sequencer(gs) != old_sequencer) {
+    resubmit_outstanding(gs, now);
+    if (find_group(gs.id) == nullptr) return;
+  }
+
+  pump_deliveries();  // D may have jumped over the removed minima
+  if (find_group(gs.id) == nullptr) return;
+
+  if (!gs.gv.waves.empty()) {
+    begin_barrier(gs, now);
+    return;  // barrier flow re-runs the remainder on completion
+  }
+  // Drain confirms that arrived during the barrier.
+  while (!gs.gv.deferred_confirms.empty() && !gs.installing) {
+    auto [from, msg] = std::move(gs.gv.deferred_confirms.front());
+    gs.gv.deferred_confirms.pop_front();
+    handle_confirm(from, msg, now);
+    if (find_group(gs.id) == nullptr) return;
+  }
+  check_consensus(gs, now);
+  if (find_group(gs.id) == nullptr) return;
+  if (gs.forming) maybe_complete_formation(gs, now);
+  pump_sends(now);
+}
+
+}  // namespace newtop

@@ -1,0 +1,32 @@
+// Lamport logical clock, rules CA1/CA2 of §4.1.
+//
+// One clock per process, shared by all groups; nulls, forwards and
+// sequencer echoes all advance it, which is what lets the symmetric and
+// asymmetric versions interoperate in the generic protocol (§4.3).
+#pragma once
+
+#include <algorithm>
+
+#include "core/types.h"
+
+namespace newtop {
+
+class LamportClock {
+ public:
+  // CA1: increment before sending; the incremented value becomes m.c.
+  Counter stamp_send() noexcept { return ++value_; }
+
+  // CA2: on receiving a message numbered c, LC = max(LC, c).
+  void observe(Counter c) noexcept { value_ = std::max(value_, c); }
+
+  // Forces the clock to at least `c` (group formation step 5: LC is raised
+  // to start-number-max when the new group opens).
+  void raise_to(Counter c) noexcept { value_ = std::max(value_, c); }
+
+  Counter value() const noexcept { return value_; }
+
+ private:
+  Counter value_ = 0;
+};
+
+}  // namespace newtop

@@ -1,0 +1,122 @@
+#include "core/sim_host.h"
+
+#include "util/check.h"
+
+namespace newtop::simhost {
+
+util::Bytes to_bytes(std::string_view s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+std::string to_string(const util::Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
+                       ProcessId id, const HostConfig& config)
+    : sim_(simulator), net_(network), id_(id),
+      tick_interval_(config.tick_interval) {
+  node_ = net_.add_node([this](sim::NodeId from, const util::Bytes& data) {
+    on_datagram(from, data);
+  });
+  NEWTOP_CHECK_MSG(node_ == id_, "process ids must be dense from 0");
+
+  router_ = std::make_unique<transport::Router>(
+      id_, config.channel,
+      /*send=*/
+      [this](transport::PeerId to, util::Bytes data) {
+        if (crashed_) return;
+        if (sends_until_crash_) {
+          if (*sends_until_crash_ == 0) {
+            crash();
+            return;
+          }
+          --*sends_until_crash_;
+        }
+        net_.send(node_, to, std::move(data));
+        if (sends_until_crash_ && *sends_until_crash_ == 0) crash();
+      },
+      /*deliver=*/
+      [this](transport::PeerId from, util::Bytes payload) {
+        if (crashed_) return;
+        endpoint_->on_message(from, payload, sim_.now());
+      });
+
+  EndpointHooks hooks;
+  hooks.send = [this](ProcessId to, util::Bytes data) {
+    if (crashed_) return;
+    router_->send(to, std::move(data), sim_.now());
+  };
+  hooks.deliver = [this](const Delivery& d) {
+    deliveries.push_back(DeliveryRecord{sim_.now(), d});
+  };
+  hooks.view_change = [this](GroupId g, const View& v) {
+    views.push_back(ViewRecord{sim_.now(), g, v});
+  };
+  hooks.formation_result = [this](GroupId g, FormationOutcome outcome) {
+    formations.push_back(FormationRecord{sim_.now(), g, outcome});
+  };
+  endpoint_ = std::make_unique<Endpoint>(id_, config.endpoint,
+                                         std::move(hooks));
+  schedule_tick();
+}
+
+void SimProcess::on_datagram(sim::NodeId from, const util::Bytes& data) {
+  if (crashed_) return;
+  router_->on_datagram(from, data, sim_.now());
+}
+
+void SimProcess::schedule_tick() {
+  sim_.schedule_after(tick_interval_, [this] {
+    if (crashed_) return;
+    router_->tick(sim_.now());
+    endpoint_->on_tick(sim_.now());
+    schedule_tick();
+  });
+}
+
+void SimProcess::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  net_.set_node_down(node_, true);
+}
+
+std::vector<std::string> SimProcess::delivered_strings(GroupId g) const {
+  std::vector<std::string> out;
+  for (const auto& r : deliveries) {
+    if (r.delivery.group == g) out.push_back(to_string(r.delivery.payload));
+  }
+  return out;
+}
+
+SimWorld::SimWorld(WorldConfig config)
+    : cfg_(std::move(config)), rng_(cfg_.seed) {
+  net_ = std::make_unique<sim::Network>(sim_, cfg_.network, rng_.fork());
+  procs_.reserve(cfg_.processes);
+  for (std::size_t i = 0; i < cfg_.processes; ++i) {
+    procs_.push_back(std::make_unique<SimProcess>(
+        sim_, *net_, static_cast<ProcessId>(i), cfg_.host));
+  }
+}
+
+void SimWorld::create_group(GroupId g, const std::vector<ProcessId>& members,
+                            GroupOptions options) {
+  for (ProcessId p : members) {
+    ep(p).create_group(g, members, options, sim_.now());
+  }
+}
+
+bool SimWorld::multicast(ProcessId from, GroupId g, std::string_view payload) {
+  return ep(from).multicast(g, to_bytes(payload), sim_.now());
+}
+
+void SimWorld::partition(const std::vector<std::set<ProcessId>>& sides) {
+  std::vector<std::set<sim::NodeId>> groups;
+  groups.reserve(sides.size());
+  for (const auto& side : sides) {
+    groups.emplace_back(side.begin(), side.end());
+  }
+  net_->partition(groups);
+}
+
+}  // namespace newtop::simhost

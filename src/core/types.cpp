@@ -1,0 +1,18 @@
+#include "core/types.h"
+
+#include <sstream>
+
+namespace newtop {
+
+std::string to_string(const View& v) {
+  std::ostringstream os;
+  os << "V" << v.seq << "{";
+  for (std::size_t i = 0; i < v.members.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "P" << v.members[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace newtop

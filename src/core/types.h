@@ -1,0 +1,86 @@
+// Fundamental identifier and option types of the Newtop protocol suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace newtop {
+
+// Process and group identifiers. A ProcessId doubles as the transport peer
+// id: one Newtop endpoint per process, shared by all its groups (the paper
+// gives each process one logical clock regardless of group count, §4.1).
+using ProcessId = std::uint32_t;
+using GroupId = std::uint32_t;
+
+// Logical-clock value / message number (m.c in the paper).
+using Counter = std::uint64_t;
+
+// View installation sequence number (the r in V^r_{x,i}).
+using ViewSeq = std::uint32_t;
+
+constexpr ProcessId kNoProcess = UINT32_MAX;
+constexpr Counter kCounterMax = UINT64_MAX;
+
+// Ordering protocol run in a group (§4). A process may use different modes
+// in different groups (the "generic version", §4.3); the mode itself is a
+// group-wide agreement fixed at group creation.
+enum class OrderMode : std::uint8_t {
+  kSymmetric = 0,   // receive-vector / logical-clock ordering (§4.1)
+  kAsymmetric = 1,  // sequencer-based ordering (§4.2)
+};
+
+// Delivery guarantee for a group (§2: "If order is not required, Newtop
+// can provide just atomic delivery").
+enum class Guarantee : std::uint8_t {
+  kTotalOrder = 0,  // causality-preserving total order (MD4/MD4')
+  kAtomicOnly = 1,  // atomic delivery w.r.t. views, no ordering
+};
+
+struct GroupOptions {
+  OrderMode mode = OrderMode::kSymmetric;
+  Guarantee guarantee = Guarantee::kTotalOrder;
+  // §4's static failure-free configuration: the failure suspector is off
+  // and, in asymmetric groups, only the sequencer runs time-silence ("It
+  // is necessary for only the sequencer of a group to operate the
+  // time-silence mechanism for that group", §4.2). The fault-tolerant
+  // protocol (§5) requires every process to run time-silence in every
+  // group, which is the default.
+  bool failure_free = false;
+};
+
+// A membership view: the sorted list of members plus the installation
+// sequence number. Sorted order gives every process the same deterministic
+// iteration, tie-break and sequencer-selection behaviour.
+struct View {
+  ViewSeq seq = 0;
+  std::vector<ProcessId> members;  // sorted ascending
+
+  bool contains(ProcessId p) const {
+    for (ProcessId m : members)
+      if (m == p) return true;
+    return false;
+  }
+  std::size_t size() const { return members.size(); }
+
+  bool operator==(const View&) const = default;
+};
+
+// Signature view (§6, after Schiper & Ricciardi [19]): members tagged with
+// the number of processes this process has excluded since the initial
+// view. With signatures enabled, concurrent views of different subgroups
+// never intersect (not even transiently).
+struct SignatureView {
+  std::vector<std::pair<ProcessId, std::uint32_t>> signatures;
+
+  bool intersects(const SignatureView& other) const {
+    for (const auto& a : signatures)
+      for (const auto& b : other.signatures)
+        if (a == b) return true;
+    return false;
+  }
+};
+
+std::string to_string(const View& v);
+
+}  // namespace newtop

@@ -1,0 +1,207 @@
+#include "core/wire.h"
+
+namespace newtop {
+
+namespace {
+// Shared header layout for ordered messages.
+void write_header(util::Writer& w, MsgType type, GroupId group) {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.varint(group);
+}
+}  // namespace
+
+util::Bytes OrderedMsg::encode() const {
+  util::Writer w(payload.size() + 24);
+  write_header(w, type, group);
+  w.varint(sender);
+  w.varint(emitter);
+  w.varint(counter);
+  w.varint(origin_counter);
+  w.varint(ldn);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<OrderedMsg> OrderedMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  OrderedMsg m;
+  m.type = static_cast<MsgType>(r.u8());
+  if (!is_ordered(m.type)) return std::nullopt;
+  m.group = static_cast<GroupId>(r.varint());
+  m.sender = static_cast<ProcessId>(r.varint());
+  m.emitter = static_cast<ProcessId>(r.varint());
+  m.counter = r.varint();
+  m.origin_counter = r.varint();
+  m.ldn = r.varint();
+  m.payload = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes FwdMsg::encode() const {
+  util::Writer w(payload.size() + 16);
+  write_header(w, MsgType::kFwd, group);
+  w.varint(origin);
+  w.varint(origin_counter);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<FwdMsg> FwdMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kFwd) return std::nullopt;
+  FwdMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.origin = static_cast<ProcessId>(r.varint());
+  m.origin_counter = r.varint();
+  m.payload = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes SuspectMsg::encode() const {
+  util::Writer w(16);
+  write_header(w, MsgType::kSuspect, group);
+  w.varint(suspicion.process);
+  w.varint(suspicion.ln);
+  return std::move(w).take();
+}
+
+std::optional<SuspectMsg> SuspectMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kSuspect) return std::nullopt;
+  SuspectMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.suspicion.process = static_cast<ProcessId>(r.varint());
+  m.suspicion.ln = r.varint();
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes RefuteMsg::encode() const {
+  util::Writer w(32);
+  write_header(w, MsgType::kRefute, group);
+  w.varint(suspicion.process);
+  w.varint(suspicion.ln);
+  w.varint(claimed_last);
+  w.varint(recovered.size());
+  for (const auto& raw : recovered) w.bytes(raw);
+  return std::move(w).take();
+}
+
+std::optional<RefuteMsg> RefuteMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kRefute) return std::nullopt;
+  RefuteMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.suspicion.process = static_cast<ProcessId>(r.varint());
+  m.suspicion.ln = r.varint();
+  m.claimed_last = r.varint();
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 20) return std::nullopt;  // sanity bound
+  m.recovered.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m.recovered.push_back(r.bytes());
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes ConfirmMsg::encode() const {
+  util::Writer w(16 + detection.size() * 8);
+  write_header(w, MsgType::kConfirm, group);
+  w.varint(detection.size());
+  for (const auto& s : detection) {
+    w.varint(s.process);
+    w.varint(s.ln);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ConfirmMsg> ConfirmMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kConfirm) return std::nullopt;
+  ConfirmMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 20) return std::nullopt;
+  m.detection.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Suspicion s;
+    s.process = static_cast<ProcessId>(r.varint());
+    s.ln = r.varint();
+    m.detection.push_back(s);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes FormInviteMsg::encode() const {
+  util::Writer w(24 + members.size() * 4);
+  write_header(w, MsgType::kFormInvite, group);
+  w.varint(initiator);
+  w.u8(static_cast<std::uint8_t>(options.mode));
+  w.u8(static_cast<std::uint8_t>(options.guarantee));
+  w.u8(options.failure_free ? 1 : 0);
+  w.varint(members.size());
+  for (ProcessId p : members) w.varint(p);
+  return std::move(w).take();
+}
+
+std::optional<FormInviteMsg> FormInviteMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kFormInvite)
+    return std::nullopt;
+  FormInviteMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.initiator = static_cast<ProcessId>(r.varint());
+  m.options.mode = static_cast<OrderMode>(r.u8());
+  m.options.guarantee = static_cast<Guarantee>(r.u8());
+  m.options.failure_free = r.u8() != 0;
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 20) return std::nullopt;
+  m.members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    m.members.push_back(static_cast<ProcessId>(r.varint()));
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes FormReplyMsg::encode() const {
+  util::Writer w(12);
+  write_header(w, MsgType::kFormReply, group);
+  w.varint(voter);
+  w.u8(yes ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<FormReplyMsg> FormReplyMsg::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kFormReply)
+    return std::nullopt;
+  FormReplyMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.voter = static_cast<ProcessId>(r.varint());
+  m.yes = r.u8() != 0;
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+std::optional<MsgType> peek_type(const util::Bytes& data) {
+  if (data.empty()) return std::nullopt;
+  const auto t = static_cast<MsgType>(data[0]);
+  switch (t) {
+    case MsgType::kApp:
+    case MsgType::kNull:
+    case MsgType::kLeave:
+    case MsgType::kFwd:
+    case MsgType::kStartGroup:
+    case MsgType::kSuspect:
+    case MsgType::kRefute:
+    case MsgType::kConfirm:
+    case MsgType::kFormInvite:
+    case MsgType::kFormReply:
+      return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace newtop

@@ -1,0 +1,142 @@
+// Wire format of Newtop protocol messages.
+//
+// Two planes share the reliable FIFO transport:
+//  - the *ordered* plane: application multicasts, time-silence nulls,
+//    leave announcements and sequencer forwards — everything stamped with
+//    logical-clock numbers (m.c) and stability info (m.ldn);
+//  - the *control* plane: membership agreement (suspect/refute/confirmed)
+//    and group formation (invite/reply/start-group), which the paper's
+//    group-view processes exchange outside the ordered stream.
+//
+// The paper's headline claim of "low and bounded message space overhead"
+// is visible here: an ordered message carries a fixed handful of varints
+// (type, group, sender, emitter, counter, origin counter, ldn) regardless
+// of group size — contrast with O(n) vector clocks or predecessor lists
+// (see bench/bench_overhead.cpp, experiment E6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "util/codec.h"
+
+namespace newtop {
+
+enum class MsgType : std::uint8_t {
+  // Ordered plane.
+  kApp = 1,        // application multicast (direct or sequencer echo)
+  kNull = 2,       // time-silence null message (§4.1)
+  kLeave = 3,      // voluntary departure announcement (§5)
+  kFwd = 4,        // asymmetric mode: origin -> sequencer unicast (§4.2)
+  kStartGroup = 5, // group formation step 4/5 (§5.3)
+  // Control plane.
+  kSuspect = 16,
+  kRefute = 17,
+  kConfirm = 18,
+  kFormInvite = 19,
+  kFormReply = 20,
+};
+
+// An ordered-plane message. `sender` is m.s (the application-level
+// originator); `emitter` is the process whose logical clock stamped
+// `counter` — the sender itself in symmetric groups, the sequencer for
+// echoes in asymmetric groups. They are carried explicitly so a message
+// recovered via refute piggybacking is self-describing.
+struct OrderedMsg {
+  MsgType type = MsgType::kApp;
+  GroupId group = 0;
+  ProcessId sender = 0;
+  ProcessId emitter = 0;
+  Counter counter = 0;         // m.c
+  Counter origin_counter = 0;  // asym: number the origin gave its unicast
+  Counter ldn = 0;             // m.ldn, emitter's D at transmission (§5.1)
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  static std::optional<OrderedMsg> decode(const util::Bytes& data);
+};
+
+// Asymmetric-mode forward (origin's unicast to the sequencer).
+struct FwdMsg {
+  GroupId group = 0;
+  ProcessId origin = 0;
+  Counter origin_counter = 0;
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  static std::optional<FwdMsg> decode(const util::Bytes& data);
+};
+
+// A suspicion: "Pk has failed and the last message I attribute to it is
+// numbered ln" — the {Pk, ln} pairs of §5.2.
+struct Suspicion {
+  ProcessId process = 0;
+  Counter ln = 0;
+
+  auto operator<=>(const Suspicion&) const = default;
+};
+
+struct SuspectMsg {
+  GroupId group = 0;
+  Suspicion suspicion;
+
+  util::Bytes encode() const;
+  static std::optional<SuspectMsg> decode(const util::Bytes& data);
+};
+
+struct RefuteMsg {
+  GroupId group = 0;
+  Suspicion suspicion;
+  // The refuter's current receive-vector entry for the suspect: the
+  // proof of liveness ("I have received m with m.c > ln from Pk"). The
+  // receiver may raise its own entry to this value because every
+  // application message in the gap is either piggybacked below or already
+  // stable (= received by every view member); only nulls are skipped.
+  Counter claimed_last = 0;
+  // Raw encodings of retained ordered messages proving the suspect's
+  // liveness and letting the suspector recover what it missed (§5.2 iii).
+  std::vector<util::Bytes> recovered;
+
+  util::Bytes encode() const;
+  static std::optional<RefuteMsg> decode(const util::Bytes& data);
+};
+
+struct ConfirmMsg {
+  GroupId group = 0;
+  std::vector<Suspicion> detection;
+
+  util::Bytes encode() const;
+  static std::optional<ConfirmMsg> decode(const util::Bytes& data);
+};
+
+struct FormInviteMsg {
+  GroupId group = 0;
+  ProcessId initiator = 0;
+  GroupOptions options;
+  std::vector<ProcessId> members;
+
+  util::Bytes encode() const;
+  static std::optional<FormInviteMsg> decode(const util::Bytes& data);
+};
+
+struct FormReplyMsg {
+  GroupId group = 0;
+  ProcessId voter = 0;
+  bool yes = false;
+
+  util::Bytes encode() const;
+  static std::optional<FormReplyMsg> decode(const util::Bytes& data);
+};
+
+// Peeks at the type byte without a full decode.
+std::optional<MsgType> peek_type(const util::Bytes& data);
+
+// True for types on the ordered plane (stamped with logical clock values).
+constexpr bool is_ordered(MsgType t) {
+  return t == MsgType::kApp || t == MsgType::kNull || t == MsgType::kLeave ||
+         t == MsgType::kStartGroup;
+}
+
+}  // namespace newtop

@@ -1,0 +1,235 @@
+#include "runtime/threaded_runtime.h"
+
+#include <chrono>
+#include <functional>
+
+#include "util/check.h"
+
+namespace newtop::runtime {
+
+namespace {
+
+sim::Time steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// One endpoint + its owner thread. The mailbox carries both peer messages
+// and application commands; the owner drains it, then ticks the endpoint.
+class ThreadedRuntime::Worker {
+ public:
+  Worker(ProcessId id, const RuntimeConfig& cfg, ThreadedRuntime& rt)
+      : id_(id), cfg_(cfg), rt_(rt) {
+    EndpointHooks hooks;
+    hooks.send = [this](ProcessId to, util::Bytes data) {
+      rt_.worker(to).enqueue_message(id_, std::move(data));
+    };
+    hooks.deliver = [this](const Delivery& d) {
+      std::scoped_lock lock(log_mutex_);
+      deliveries_.push_back(d);
+    };
+    hooks.view_change = [this](GroupId g, const View& v) {
+      std::scoped_lock lock(log_mutex_);
+      views_.emplace_back(g, v);
+    };
+    hooks.formation_result = [](GroupId, FormationOutcome) {};
+    endpoint_ = std::make_unique<Endpoint>(id, cfg_.endpoint,
+                                           std::move(hooks));
+  }
+
+  void start() {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  void stop() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void crash() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+      crashed_ = true;
+      inbox_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  void enqueue_message(ProcessId from, util::Bytes data) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) return;
+      inbox_.push_back(Item{Item::kMessage, from, std::move(data), {}});
+    }
+    cv_.notify_all();
+  }
+
+  void enqueue_command(std::function<void(Endpoint&, sim::Time)> fn) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) return;
+      inbox_.push_back(Item{Item::kCommand, 0, {}, std::move(fn)});
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<Delivery> deliveries() const {
+    std::scoped_lock lock(log_mutex_);
+    return deliveries_;
+  }
+
+  std::vector<std::pair<GroupId, View>> views() const {
+    std::scoped_lock lock(log_mutex_);
+    return views_;
+  }
+
+  std::size_t delivery_count(GroupId g) const {
+    std::scoped_lock lock(log_mutex_);
+    std::size_t n = 0;
+    for (const auto& d : deliveries_) {
+      if (d.group == g) ++n;
+    }
+    return n;
+  }
+
+  bool crashed() const {
+    std::scoped_lock lock(mutex_);
+    return crashed_;
+  }
+
+ private:
+  struct Item {
+    enum Kind { kMessage, kCommand } kind;
+    ProcessId from;
+    util::Bytes data;
+    std::function<void(Endpoint&, sim::Time)> fn;
+  };
+
+  void run() {
+    const auto tick = std::chrono::microseconds(cfg_.tick_interval);
+    auto next_tick = std::chrono::steady_clock::now() + tick;
+    while (true) {
+      std::deque<Item> batch;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait_until(lock, next_tick,
+                       [this] { return stopping_ || !inbox_.empty(); });
+        if (stopping_) return;
+        batch.swap(inbox_);
+      }
+      const sim::Time now = steady_now_us();
+      for (auto& item : batch) {
+        if (item.kind == Item::kMessage) {
+          endpoint_->on_message(item.from, item.data, now);
+        } else {
+          item.fn(*endpoint_, now);
+        }
+      }
+      if (std::chrono::steady_clock::now() >= next_tick) {
+        endpoint_->on_tick(steady_now_us());
+        next_tick = std::chrono::steady_clock::now() + tick;
+      }
+    }
+  }
+
+  ProcessId id_;
+  RuntimeConfig cfg_;
+  ThreadedRuntime& rt_;
+  std::unique_ptr<Endpoint> endpoint_;
+  std::thread thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> inbox_;
+  bool stopping_ = false;
+  bool crashed_ = false;
+
+  mutable std::mutex log_mutex_;
+  std::vector<Delivery> deliveries_;
+  std::vector<std::pair<GroupId, View>> views_;
+};
+
+ThreadedRuntime::ThreadedRuntime(std::size_t processes, RuntimeConfig config)
+    : cfg_(config) {
+  workers_.reserve(processes);
+  for (std::size_t i = 0; i < processes; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<ProcessId>(i), cfg_, *this));
+  }
+  // Start only after all workers exist: hooks.send resolves peers eagerly.
+  for (auto& w : workers_) w->start();
+}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void ThreadedRuntime::shutdown() {
+  for (auto& w : workers_) w->stop();
+}
+
+void ThreadedRuntime::create_group(ProcessId p, GroupId g,
+                                   std::vector<ProcessId> members,
+                                   GroupOptions options) {
+  worker(p).enqueue_command(
+      [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
+        e.create_group(g, members, options, now);
+      });
+}
+
+void ThreadedRuntime::initiate_group(ProcessId p, GroupId g,
+                                     std::vector<ProcessId> members,
+                                     GroupOptions options) {
+  worker(p).enqueue_command(
+      [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
+        e.initiate_group(g, members, options, now);
+      });
+}
+
+void ThreadedRuntime::multicast(ProcessId p, GroupId g, util::Bytes payload) {
+  worker(p).enqueue_command(
+      [g, payload = std::move(payload)](Endpoint& e, sim::Time now) {
+        e.multicast(g, payload, now);
+      });
+}
+
+void ThreadedRuntime::leave_group(ProcessId p, GroupId g) {
+  worker(p).enqueue_command(
+      [g](Endpoint& e, sim::Time now) { e.leave_group(g, now); });
+}
+
+void ThreadedRuntime::crash(ProcessId p) { worker(p).crash(); }
+
+std::vector<Delivery> ThreadedRuntime::deliveries(ProcessId p) const {
+  return worker(p).deliveries();
+}
+
+std::vector<std::pair<GroupId, View>> ThreadedRuntime::views(
+    ProcessId p) const {
+  return worker(p).views();
+}
+
+bool ThreadedRuntime::wait_for_deliveries(GroupId g, std::size_t n,
+                                          std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (const auto& w : workers_) {
+      if (!w->crashed() && w->delivery_count(g) < n) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+}  // namespace newtop::runtime

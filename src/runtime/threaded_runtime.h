@@ -1,0 +1,73 @@
+// Threaded in-process runtime: runs one Newtop endpoint per worker thread
+// under real time, with an in-memory reliable FIFO transport between them.
+//
+// The protocol engine is single-owner by design (see endpoint.h); this
+// host gives each endpoint exactly one owning thread. All inputs — peer
+// messages, application commands, timer ticks — funnel through a mailbox
+// drained only by the owner, so the engine itself needs no locking
+// (CP.2/CP.3: no shared writable state). Cross-thread message passing is
+// per-destination queues guarded by the destination's mailbox mutex;
+// enqueue order per sender is preserved, which provides the FIFO channel
+// property the protocol assumes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/endpoint.h"
+#include "sim/time.h"
+
+namespace newtop::runtime {
+
+struct RuntimeConfig {
+  Config endpoint;
+  sim::Duration tick_interval = 5 * sim::kMillisecond;
+};
+
+class ThreadedRuntime {
+ public:
+  ThreadedRuntime(std::size_t processes, RuntimeConfig config);
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Application commands; executed asynchronously on the owner thread.
+  void create_group(ProcessId p, GroupId g, std::vector<ProcessId> members,
+                    GroupOptions options = {});
+  void initiate_group(ProcessId p, GroupId g, std::vector<ProcessId> members,
+                      GroupOptions options = {});
+  void multicast(ProcessId p, GroupId g, util::Bytes payload);
+  void leave_group(ProcessId p, GroupId g);
+  void crash(ProcessId p);  // stops the worker without draining
+
+  // Snapshot of everything process p has delivered so far.
+  std::vector<Delivery> deliveries(ProcessId p) const;
+  // Snapshot of the views process p has installed (per group, in order).
+  std::vector<std::pair<GroupId, View>> views(ProcessId p) const;
+
+  // Blocks until every process has delivered at least n messages in group
+  // g, or the timeout expires. Returns true on success.
+  bool wait_for_deliveries(GroupId g, std::size_t n,
+                           std::chrono::milliseconds timeout);
+
+  // Stops all workers and joins the threads (idempotent).
+  void shutdown();
+
+ private:
+  class Worker;
+
+  Worker& worker(ProcessId p) const { return *workers_.at(p); }
+
+  RuntimeConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace newtop::runtime

@@ -1,0 +1,84 @@
+// Priority queue of timestamped events with stable FIFO ordering for
+// events scheduled at the same instant, plus O(log n) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace newtop::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventId schedule(Time when, std::function<void()> fn) {
+    NEWTOP_CHECK(fn != nullptr);
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    return id;
+  }
+
+  // Cancellation is lazy: the entry stays in the heap but is skipped when
+  // popped. Fine for our workloads where cancellations are rare.
+  void cancel(EventId id) {
+    if (id != kInvalidEventId) cancelled_.insert(id);
+  }
+
+  bool empty() {
+    drop_cancelled_head();
+    return heap_.empty();
+  }
+
+  Time next_time() {
+    drop_cancelled_head();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+  }
+
+  // Pops and returns the earliest live event. Caller must check !empty().
+  std::pair<Time, std::function<void()>> pop() {
+    drop_cancelled_head();
+    NEWTOP_CHECK(!heap_.empty());
+    // std::priority_queue::top() is const; the function object must be
+    // moved out, so we const_cast on the single owner. Safe: the entry is
+    // popped immediately afterwards.
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<Time, std::function<void()>> out{top.when, std::move(top.fn)};
+    heap_.pop();
+    return out;
+  }
+
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  void drop_cancelled_head() {
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace newtop::sim

@@ -1,0 +1,207 @@
+// Simulated asynchronous datagram network.
+//
+// Models exactly the environment the paper assumes (§3): asynchronous
+// message passing with unbounded/unpredictable delay, and a network that
+// can partition into disjoint components. On top of that, the datagram
+// layer may drop, duplicate and reorder packets — the reliable FIFO
+// transport in src/transport recovers the paper's assumed "uncorrupted,
+// sequenced" channel abstraction from it.
+//
+// Determinism: all randomness comes from the Rng handed in at
+// construction; all delivery happens through Simulator events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace newtop::sim {
+
+using NodeId = std::uint32_t;
+
+// Latency model for a link. Sampled per datagram.
+struct LatencyModel {
+  enum class Kind { kConstant, kUniform, kExponential };
+  Kind kind = Kind::kConstant;
+  Duration base = 1 * kMillisecond;   // constant part / lower bound / mean
+  Duration spread = 0;                // uniform: width; exponential: unused
+
+  static LatencyModel constant(Duration d) {
+    return LatencyModel{Kind::kConstant, d, 0};
+  }
+  static LatencyModel uniform(Duration lo, Duration hi) {
+    return LatencyModel{Kind::kUniform, lo, hi - lo};
+  }
+  static LatencyModel exponential(Duration mean) {
+    return LatencyModel{Kind::kExponential, mean, 0};
+  }
+
+  Duration sample(util::Rng& rng) const {
+    switch (kind) {
+      case Kind::kConstant:
+        return base;
+      case Kind::kUniform:
+        return base + (spread > 0
+                           ? static_cast<Duration>(rng.next_below(
+                                 static_cast<std::uint64_t>(spread) + 1))
+                           : 0);
+      case Kind::kExponential:
+        return base > 0 ? static_cast<Duration>(rng.next_exponential(
+                              static_cast<double>(base)))
+                        : 0;
+    }
+    return base;
+  }
+};
+
+struct NetworkConfig {
+  LatencyModel latency = LatencyModel::uniform(1 * kMillisecond,
+                                               5 * kMillisecond);
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+struct NetworkStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t datagrams_dropped = 0;      // random loss
+  std::uint64_t datagrams_partitioned = 0;  // blocked by partition/down node
+  std::uint64_t datagrams_duplicated = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  using DeliverFn =
+      std::function<void(NodeId from, const util::Bytes& payload)>;
+
+  Network(Simulator& simulator, NetworkConfig config, util::Rng rng)
+      : sim_(simulator), config_(config), rng_(rng) {}
+
+  // Registers a node's receive callback and returns its id.
+  NodeId add_node(DeliverFn deliver) {
+    nodes_.push_back(Node{std::move(deliver), /*down=*/false,
+                          /*component=*/0});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Sends a datagram. May drop, duplicate or delay it; never corrupts.
+  // Connectivity is evaluated at send time (packets already in flight when
+  // a partition starts still arrive — matching a store-and-forward network
+  // where the cut happens at the sender's edge).
+  void send(NodeId from, NodeId to, util::Bytes payload) {
+    ++stats_.datagrams_sent;
+    if (!connected(from, to)) {
+      ++stats_.datagrams_partitioned;
+      return;
+    }
+    if (rng_.next_bool(config_.drop_probability)) {
+      ++stats_.datagrams_dropped;
+      return;
+    }
+    const bool dup = rng_.next_bool(config_.duplicate_probability);
+    deliver_later(from, to, payload);
+    if (dup) {
+      ++stats_.datagrams_duplicated;
+      deliver_later(from, to, payload);
+    }
+  }
+
+  // --- Fault injection -----------------------------------------------
+
+  // Splits nodes into components; nodes absent from every group go to a
+  // fresh singleton component. Packets only flow within a component.
+  void partition(const std::vector<std::set<NodeId>>& groups) {
+    std::uint32_t next = 1;
+    for (auto& n : nodes_) n.component = 0;
+    std::vector<bool> assigned(nodes_.size(), false);
+    for (const auto& group : groups) {
+      const std::uint32_t comp = next++;
+      for (NodeId id : group) {
+        NEWTOP_CHECK(id < nodes_.size());
+        nodes_[id].component = comp;
+        assigned[id] = true;
+      }
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (!assigned[id]) nodes_[id].component = next++;
+    }
+  }
+
+  void heal() {
+    for (auto& n : nodes_) n.component = 0;
+    link_down_.clear();
+  }
+
+  // Asymmetric, per-direction link cut ("virtual partition" injection).
+  void set_link_down(NodeId from, NodeId to, bool down) {
+    if (down)
+      link_down_.insert({from, to});
+    else
+      link_down_.erase({from, to});
+  }
+
+  // Per-direction latency override (heterogeneous topologies: a "far"
+  // node on an Internet path among LAN peers, per §2's setting).
+  void set_link_latency(NodeId from, NodeId to, LatencyModel model) {
+    link_latency_[{from, to}] = model;
+  }
+  void clear_link_latency(NodeId from, NodeId to) {
+    link_latency_.erase({from, to});
+  }
+
+  // A down node neither sends nor receives (process crash at the network
+  // edge). In-flight packets to it are discarded on delivery.
+  void set_node_down(NodeId id, bool down) {
+    NEWTOP_CHECK(id < nodes_.size());
+    nodes_[id].down = down;
+  }
+
+  bool connected(NodeId from, NodeId to) const {
+    if (from >= nodes_.size() || to >= nodes_.size()) return false;
+    if (nodes_[from].down || nodes_[to].down) return false;
+    if (nodes_[from].component != nodes_[to].component) return false;
+    return link_down_.count({from, to}) == 0;
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    DeliverFn deliver;
+    bool down;
+    std::uint32_t component;
+  };
+
+  void deliver_later(NodeId from, NodeId to, const util::Bytes& payload) {
+    const auto lit = link_latency_.find({from, to});
+    const Duration latency = lit != link_latency_.end()
+                                 ? lit->second.sample(rng_)
+                                 : config_.latency.sample(rng_);
+    sim_.schedule_after(latency, [this, from, to, payload] {
+      if (nodes_[to].down) return;
+      ++stats_.datagrams_delivered;
+      stats_.bytes_delivered += payload.size();
+      nodes_[to].deliver(from, payload);
+    });
+  }
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  util::Rng rng_;
+  std::vector<Node> nodes_;
+  std::set<std::pair<NodeId, NodeId>> link_down_;
+  std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
+  NetworkStats stats_;
+};
+
+}  // namespace newtop::sim

@@ -1,0 +1,21 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is a signed 64-bit count of microseconds since simulation start.
+// Signed so that subtraction is safe; microsecond granularity matches the
+// scale of the latencies the paper's environment implies (LAN to Internet).
+#pragma once
+
+#include <cstdint>
+
+namespace newtop::sim {
+
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Time kTimeNever = INT64_MAX;
+
+}  // namespace newtop::sim

@@ -1,0 +1,178 @@
+// Reliable FIFO point-to-point channel protocol.
+//
+// The paper assumes (§3) "a message transport layer permitting uncorrupted
+// and sequenced message transmission between a sender and destination
+// processes, if the processes are alive and the destination processes are
+// not partitioned from the sender". This module builds that abstraction
+// from an unreliable datagram service (which may drop, duplicate and
+// reorder): sliding-window ARQ with cumulative acks and timeout-driven
+// retransmission, one independent channel per direction per peer pair.
+//
+// A channel never gives up on its own: retransmission continues until the
+// peer acks or the owner resets the channel. Deciding that a peer is gone
+// is the membership service's job, not the transport's.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "sim/time.h"
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace newtop::transport {
+
+using sim::Duration;
+using sim::Time;
+
+struct ChannelConfig {
+  std::size_t window = 64;           // max in-flight unacked packets
+  Duration rto = 20 * sim::kMillisecond;  // retransmission timeout
+  std::size_t max_reorder = 4096;    // receiver out-of-order buffer cap
+};
+
+struct ChannelStats {
+  std::uint64_t packets_sent = 0;          // first transmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t delivered = 0;
+};
+
+// Wire framing for channel packets. kData carries a piggybacked cumulative
+// ack for the reverse direction.
+enum class PacketKind : std::uint8_t { kData = 0, kAck = 1 };
+
+// Sender half: assigns sequence numbers, enforces the window, retransmits.
+class ChannelSender {
+ public:
+  explicit ChannelSender(ChannelConfig config) : config_(config) {}
+
+  // Queues payload; returns packets to transmit now (possibly none if the
+  // window is full — they will go out as acks open the window).
+  void send(util::Bytes payload, Time now,
+            std::vector<util::Bytes>& out_packets,
+            std::uint64_t piggyback_ack) {
+    queue_.push_back(Pending{next_seq_++, std::move(payload), kNotSent});
+    pump(now, out_packets, piggyback_ack);
+  }
+
+  // Processes a cumulative ack: everything with seq <= cum_ack is done.
+  void on_ack(std::uint64_t cum_ack, Time now,
+              std::vector<util::Bytes>& out_packets,
+              std::uint64_t piggyback_ack) {
+    while (!queue_.empty() && queue_.front().seq <= cum_ack &&
+           queue_.front().sent_at != kNotSent) {
+      queue_.pop_front();
+      NEWTOP_DCHECK(in_flight_ > 0);
+      --in_flight_;
+    }
+    pump(now, out_packets, piggyback_ack);
+  }
+
+  // Retransmits packets whose RTO expired.
+  void tick(Time now, std::vector<util::Bytes>& out_packets,
+            std::uint64_t piggyback_ack, ChannelStats& stats) {
+    std::size_t considered = 0;
+    for (auto& p : queue_) {
+      if (considered++ >= in_flight_) break;  // only in-flight entries
+      if (p.sent_at != kNotSent && now - p.sent_at >= config_.rto) {
+        p.sent_at = now;
+        ++stats.retransmissions;
+        out_packets.push_back(encode(p, piggyback_ack));
+      }
+    }
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t backlog() const { return queue_.size(); }
+  Time next_deadline(Time now) const {
+    std::size_t considered = 0;
+    Time best = sim::kTimeNever;
+    for (const auto& p : queue_) {
+      if (considered++ >= in_flight_) break;
+      if (p.sent_at != kNotSent)
+        best = std::min(best, p.sent_at + config_.rto);
+    }
+    (void)now;
+    return best;
+  }
+
+  void pump(Time now, std::vector<util::Bytes>& out_packets,
+            std::uint64_t piggyback_ack) {
+    // Transmit queued-but-unsent packets while the window has room.
+    for (auto& p : queue_) {
+      if (in_flight_ >= config_.window) break;
+      if (p.sent_at != kNotSent) continue;
+      p.sent_at = now;
+      ++in_flight_;
+      ++sent_count_;
+      out_packets.push_back(encode(p, piggyback_ack));
+    }
+  }
+
+  std::uint64_t sent_count() const { return sent_count_; }
+
+ private:
+  static constexpr Time kNotSent = -1;
+
+  struct Pending {
+    std::uint64_t seq;
+    util::Bytes payload;
+    Time sent_at;  // kNotSent until first transmission
+  };
+
+  util::Bytes encode(const Pending& p, std::uint64_t piggyback_ack) const {
+    util::Writer w(p.payload.size() + 16);
+    w.u8(static_cast<std::uint8_t>(PacketKind::kData));
+    w.varint(p.seq);
+    w.varint(piggyback_ack);
+    w.bytes(p.payload);
+    return std::move(w).take();
+  }
+
+  ChannelConfig config_;
+  std::deque<Pending> queue_;  // in-flight prefix, then unsent suffix
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t sent_count_ = 0;
+};
+
+// Receiver half: reorders, deduplicates and delivers in sequence order.
+class ChannelReceiver {
+ public:
+  explicit ChannelReceiver(ChannelConfig config) : config_(config) {}
+
+  // Handles a data packet; appends in-order payloads to `delivered`.
+  // Returns the cumulative ack to send back.
+  std::uint64_t on_data(std::uint64_t seq, util::Bytes payload,
+                        std::vector<util::Bytes>& delivered,
+                        ChannelStats& stats) {
+    if (seq < next_expected_ || buffer_.count(seq) > 0) {
+      ++stats.duplicates_dropped;
+    } else if (seq == next_expected_ ||
+               buffer_.size() < config_.max_reorder) {
+      // The in-order packet is always admitted even when the reorder
+      // buffer is at capacity — rejecting it would wedge the channel:
+      // draining the buffer *requires* this packet.
+      buffer_.emplace(seq, std::move(payload));
+    }
+    while (!buffer_.empty() && buffer_.begin()->first == next_expected_) {
+      delivered.push_back(std::move(buffer_.begin()->second));
+      buffer_.erase(buffer_.begin());
+      ++next_expected_;
+      ++stats.delivered;
+    }
+    return cum_ack();
+  }
+
+  std::uint64_t cum_ack() const { return next_expected_ - 1; }
+
+ private:
+  ChannelConfig config_;
+  std::map<std::uint64_t, util::Bytes> buffer_;
+  std::uint64_t next_expected_ = 1;
+};
+
+}  // namespace newtop::transport

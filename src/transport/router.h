@@ -1,0 +1,164 @@
+// Per-process transport router: multiplexes reliable FIFO channels to all
+// peers over a datagram send function.
+//
+// The router is the boundary between the Newtop protocol engine (which
+// assumes the paper's sequenced transport) and whatever actually moves
+// bytes (simulated network, in-process queues, sockets). It is
+// time-agnostic: every entry point takes `now`, so the same code runs
+// under virtual and real time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "transport/fifo_channel.h"
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace newtop::transport {
+
+using PeerId = std::uint32_t;
+
+class Router {
+ public:
+  // Sends one datagram towards a peer (unreliably).
+  using SendDatagramFn = std::function<void(PeerId to, util::Bytes)>;
+  // Delivers one in-order payload from a peer.
+  using DeliverFn = std::function<void(PeerId from, util::Bytes)>;
+
+  Router(PeerId self, ChannelConfig config, SendDatagramFn send,
+         DeliverFn deliver)
+      : self_(self),
+        config_(config),
+        send_(std::move(send)),
+        deliver_(std::move(deliver)) {
+    NEWTOP_CHECK(send_ != nullptr);
+    NEWTOP_CHECK(deliver_ != nullptr);
+  }
+
+  PeerId self() const { return self_; }
+
+  // Reliable, FIFO-ordered send. Local sends short-circuit the network:
+  // a process's messages to itself are delivered immediately and in order.
+  void send(PeerId to, util::Bytes payload, Time now) {
+    if (to == self_) {
+      deliver_(self_, std::move(payload));
+      return;
+    }
+    auto& peer = peers(to);
+    std::vector<util::Bytes> packets;
+    peer.sender.send(std::move(payload), now, packets,
+                     peer.receiver.cum_ack());
+    peer.stats.packets_sent += packets.size();
+    transmit(to, packets);
+  }
+
+  void on_datagram(PeerId from, const util::Bytes& datagram, Time now) {
+    util::Reader r(datagram);
+    const auto kind = static_cast<PacketKind>(r.u8());
+    auto& peer = peers(from);
+    if (kind == PacketKind::kData) {
+      const std::uint64_t seq = r.varint();
+      const std::uint64_t piggyback = r.varint();
+      util::Bytes payload = r.bytes();
+      if (!r.ok()) {
+        NEWTOP_LOG_WARN("router %u: malformed data packet from %u", self_,
+                        from);
+        return;
+      }
+      handle_ack(peer, from, piggyback, now);
+      std::vector<util::Bytes> ready;
+      const std::uint64_t ack =
+          peer.receiver.on_data(seq, std::move(payload), ready, peer.stats);
+      send_ack(from, ack, peer);
+      for (auto& p : ready) deliver_(from, std::move(p));
+    } else if (kind == PacketKind::kAck) {
+      const std::uint64_t cum = r.varint();
+      if (!r.ok()) return;
+      handle_ack(peer, from, cum, now);
+    } else {
+      NEWTOP_LOG_WARN("router %u: unknown packet kind from %u", self_, from);
+    }
+  }
+
+  // Drives retransmission; call at least every rto/2.
+  void tick(Time now) {
+    for (auto& [peer_id, peer] : peers_) {
+      std::vector<util::Bytes> packets;
+      peer.sender.tick(now, packets, peer.receiver.cum_ack(), peer.stats);
+      transmit(peer_id, packets);
+    }
+  }
+
+  // Forgets all channel state towards a peer. Used when the peer has been
+  // excluded from every shared group — retransmissions to it must stop.
+  // (A fresh channel would restart sequence numbers; peers only ever
+  // re-engage through a *new* group, and the remote router must be reset
+  // symmetrically, which hosts do on view exclusion.)
+  void reset_peer(PeerId peer) { peers_.erase(peer); }
+
+  bool idle() const {
+    for (const auto& [id, peer] : peers_) {
+      if (!peer.sender.idle()) return false;
+    }
+    return true;
+  }
+
+  ChannelStats total_stats() const {
+    ChannelStats total;
+    for (const auto& [id, peer] : peers_) {
+      total.packets_sent += peer.stats.packets_sent;
+      total.retransmissions += peer.stats.retransmissions;
+      total.acks_sent += peer.stats.acks_sent;
+      total.duplicates_dropped += peer.stats.duplicates_dropped;
+      total.delivered += peer.stats.delivered;
+    }
+    return total;
+  }
+
+ private:
+  struct Peer {
+    explicit Peer(const ChannelConfig& config)
+        : sender(config), receiver(config) {}
+    ChannelSender sender;
+    ChannelReceiver receiver;
+    ChannelStats stats;
+  };
+
+  Peer& peers(PeerId id) {
+    auto it = peers_.find(id);
+    if (it == peers_.end()) {
+      it = peers_.emplace(id, Peer(config_)).first;
+    }
+    return it->second;
+  }
+
+  void handle_ack(Peer& peer, PeerId from, std::uint64_t cum, Time now) {
+    std::vector<util::Bytes> packets;
+    peer.sender.on_ack(cum, now, packets, peer.receiver.cum_ack());
+    peer.stats.packets_sent += packets.size();
+    transmit(from, packets);
+  }
+
+  void send_ack(PeerId to, std::uint64_t cum_ack, Peer& peer) {
+    util::Writer w(12);
+    w.u8(static_cast<std::uint8_t>(PacketKind::kAck));
+    w.varint(cum_ack);
+    ++peer.stats.acks_sent;
+    send_(to, std::move(w).take());
+  }
+
+  void transmit(PeerId to, std::vector<util::Bytes>& packets) {
+    for (auto& p : packets) send_(to, std::move(p));
+  }
+
+  PeerId self_;
+  ChannelConfig config_;
+  SendDatagramFn send_;
+  DeliverFn deliver_;
+  std::map<PeerId, Peer> peers_;
+};
+
+}  // namespace newtop::transport

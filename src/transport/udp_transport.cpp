@@ -1,0 +1,235 @@
+#include "transport/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace newtop::transport {
+
+namespace {
+constexpr std::size_t kMaxDatagram = 65536;
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  NEWTOP_CHECK_MSG(fd_ >= 0, "socket() failed");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  NEWTOP_CHECK(::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0);
+  sockaddr_in addr = loopback(port);
+  NEWTOP_CHECK_MSG(
+      ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind() failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  NEWTOP_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                             &len) == 0);
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::send_to(std::uint16_t dest_port, const util::Bytes& data) {
+  sockaddr_in addr = loopback(dest_port);
+  // Errors (ECONNREFUSED from a dead peer, ENOBUFS, ...) are datagram
+  // loss; the reliable channel retransmits.
+  (void)::sendto(fd_, data.data(), data.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}
+
+bool UdpSocket::receive(std::uint16_t& from_port, util::Bytes& data) {
+  std::uint8_t buf[kMaxDatagram];
+  sockaddr_in from{};
+  socklen_t len = sizeof(from);
+  const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&from), &len);
+  if (n < 0) return false;
+  from_port = ntohs(from.sin_port);
+  data.assign(buf, buf + n);
+  return true;
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
+    : id_(id), cfg_(config), socket_(port) {
+  router_ = std::make_unique<Router>(
+      id_, cfg_.channel,
+      /*send=*/
+      [this](PeerId to, util::Bytes data) {
+        std::uint16_t dest;
+        {
+          std::scoped_lock lock(mutex_);
+          auto it = peer_ports_.find(to);
+          if (it == peer_ports_.end()) {
+            NEWTOP_LOG_WARN("udp node %u: no port for peer %u", id_, to);
+            return;
+          }
+          dest = it->second;
+        }
+        socket_.send_to(dest, data);
+      },
+      /*deliver=*/
+      [this](PeerId from, util::Bytes payload) {
+        endpoint_->on_message(from, payload, now_us());
+      });
+
+  EndpointHooks hooks;
+  hooks.send = [this](ProcessId to, util::Bytes data) {
+    router_->send(to, std::move(data), now_us());
+  };
+  hooks.deliver = [this](const Delivery& d) {
+    std::scoped_lock lock(log_mutex_);
+    deliveries_.push_back(d);
+  };
+  hooks.view_change = [this](GroupId g, const View& v) {
+    std::scoped_lock lock(log_mutex_);
+    views_.emplace_back(g, v);
+  };
+  hooks.formation_result = [](GroupId, FormationOutcome) {};
+  endpoint_ = std::make_unique<Endpoint>(id_, cfg_.endpoint,
+                                         std::move(hooks));
+}
+
+UdpNode::~UdpNode() { stop(); }
+
+sim::Time UdpNode::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void UdpNode::add_peer(ProcessId peer, std::uint16_t port) {
+  std::scoped_lock lock(mutex_);
+  peer_ports_[peer] = port;
+  port_peers_[port] = peer;
+}
+
+void UdpNode::start() {
+  NEWTOP_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { run(); });
+}
+
+void UdpNode::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void UdpNode::run() {
+  sim::Time next_tick = now_us() + cfg_.tick_interval;
+  while (true) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) return;
+    }
+    const sim::Time now = now_us();
+    const int wait_ms = static_cast<int>(
+        std::max<sim::Time>(1, (next_tick - now) / sim::kMillisecond));
+    socket_.wait_readable(std::min(wait_ms, 20));
+
+    // Drain the socket.
+    std::uint16_t from_port;
+    util::Bytes data;
+    while (socket_.receive(from_port, data)) {
+      ProcessId from = kNoProcess;
+      {
+        std::scoped_lock lock(mutex_);
+        auto it = port_peers_.find(from_port);
+        if (it != port_peers_.end()) from = it->second;
+      }
+      if (from != kNoProcess) {
+        router_->on_datagram(from, data, now_us());
+      }
+    }
+    // Drain application commands.
+    std::deque<std::function<void(Endpoint&, sim::Time)>> cmds;
+    {
+      std::scoped_lock lock(mutex_);
+      cmds.swap(commands_);
+    }
+    for (auto& cmd : cmds) cmd(*endpoint_, now_us());
+    // Protocol + retransmission ticks.
+    if (now_us() >= next_tick) {
+      router_->tick(now_us());
+      endpoint_->on_tick(now_us());
+      next_tick = now_us() + cfg_.tick_interval;
+    }
+  }
+}
+
+void UdpNode::create_group(GroupId g, std::vector<ProcessId> members,
+                           GroupOptions options) {
+  std::scoped_lock lock(mutex_);
+  commands_.push_back(
+      [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
+        e.create_group(g, members, options, now);
+      });
+}
+
+void UdpNode::initiate_group(GroupId g, std::vector<ProcessId> members,
+                             GroupOptions options) {
+  std::scoped_lock lock(mutex_);
+  commands_.push_back(
+      [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
+        e.initiate_group(g, members, options, now);
+      });
+}
+
+void UdpNode::multicast(GroupId g, util::Bytes payload) {
+  std::scoped_lock lock(mutex_);
+  commands_.push_back(
+      [g, payload = std::move(payload)](Endpoint& e, sim::Time now) {
+        e.multicast(g, payload, now);
+      });
+}
+
+void UdpNode::leave_group(GroupId g) {
+  std::scoped_lock lock(mutex_);
+  commands_.push_back(
+      [g](Endpoint& e, sim::Time now) { e.leave_group(g, now); });
+}
+
+std::vector<Delivery> UdpNode::deliveries() const {
+  std::scoped_lock lock(log_mutex_);
+  return deliveries_;
+}
+
+std::vector<std::pair<GroupId, View>> UdpNode::views() const {
+  std::scoped_lock lock(log_mutex_);
+  return views_;
+}
+
+std::size_t UdpNode::delivery_count(GroupId g) const {
+  std::scoped_lock lock(log_mutex_);
+  std::size_t n = 0;
+  for (const auto& d : deliveries_) {
+    if (d.group == g) ++n;
+  }
+  return n;
+}
+
+}  // namespace newtop::transport

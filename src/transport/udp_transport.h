@@ -1,0 +1,121 @@
+// Real-network transport: Newtop over UDP sockets.
+//
+// The paper's environment is "processes ... communicating over the
+// Internet" (§2). The Router/fifo_channel stack already turns an
+// unreliable datagram service into the sequenced transport the protocol
+// assumes, so UDP is the natural substrate: this module provides the
+// socket plumbing and an event-loop host (`UdpNode`) that runs a complete
+// Newtop endpoint over it.
+//
+// A UdpNode owns one thread: a poll loop that multiplexes socket receive,
+// retransmission/protocol ticks and application commands (marshalled
+// through a mutex-protected queue, keeping the Endpoint single-owner).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/endpoint.h"
+#include "transport/router.h"
+
+namespace newtop::transport {
+
+// Thin RAII wrapper over a bound, non-blocking IPv4 UDP socket.
+class UdpSocket {
+ public:
+  // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.
+  explicit UdpSocket(std::uint16_t port);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  // Sends one datagram to 127.0.0.1:dest_port. Best-effort: errors
+  // (e.g. full buffers) are treated as datagram loss.
+  void send_to(std::uint16_t dest_port, const util::Bytes& data);
+
+  // Non-blocking receive. Returns false when the socket is drained.
+  bool receive(std::uint16_t& from_port, util::Bytes& data);
+
+  // Blocks until readable or timeout (milliseconds).
+  bool wait_readable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+struct UdpNodeConfig {
+  Config endpoint;
+  ChannelConfig channel;
+  sim::Duration tick_interval = 5 * sim::kMillisecond;
+};
+
+// A complete Newtop process on a UDP socket.
+class UdpNode {
+ public:
+  // Port 0 = ephemeral; read the actual port with port().
+  UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config);
+  ~UdpNode();
+
+  UdpNode(const UdpNode&) = delete;
+  UdpNode& operator=(const UdpNode&) = delete;
+
+  ProcessId id() const { return id_; }
+  std::uint16_t port() const { return socket_.port(); }
+
+  // Registers the UDP port of a peer process. Must be called for every
+  // peer before traffic flows to it.
+  void add_peer(ProcessId peer, std::uint16_t port);
+
+  void start();
+  void stop();  // joins the loop thread; idempotent
+
+  // Application commands, marshalled onto the loop thread.
+  void create_group(GroupId g, std::vector<ProcessId> members,
+                    GroupOptions options = {});
+  void initiate_group(GroupId g, std::vector<ProcessId> members,
+                      GroupOptions options = {});
+  void multicast(GroupId g, util::Bytes payload);
+  void leave_group(GroupId g);
+
+  // Thread-safe observation snapshots.
+  std::vector<Delivery> deliveries() const;
+  std::vector<std::pair<GroupId, View>> views() const;
+  std::size_t delivery_count(GroupId g) const;
+
+ private:
+  void run();
+  sim::Time now_us() const;
+
+  ProcessId id_;
+  UdpNodeConfig cfg_;
+  UdpSocket socket_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<Endpoint> endpoint_;
+
+  mutable std::mutex mutex_;
+  std::map<ProcessId, std::uint16_t> peer_ports_;   // by process
+  std::map<std::uint16_t, ProcessId> port_peers_;   // reverse lookup
+  std::deque<std::function<void(Endpoint&, sim::Time)>> commands_;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  mutable std::mutex log_mutex_;
+  std::vector<Delivery> deliveries_;
+  std::vector<std::pair<GroupId, View>> views_;
+};
+
+}  // namespace newtop::transport

@@ -1,0 +1,63 @@
+// Assertion helpers used across the Newtop codebase.
+//
+// NEWTOP_CHECK is an always-on invariant check (protocol safety conditions
+// are cheap relative to message handling, so they stay enabled in release
+// builds). NEWTOP_DCHECK compiles out in NDEBUG builds and is meant for
+// hot-path sanity checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace newtop::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+namespace detail {
+// Builds the optional message from a streamable expression list.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace newtop::util
+
+#define NEWTOP_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::newtop::util::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                                     \
+  } while (0)
+
+#define NEWTOP_CHECK_MSG(expr, ...)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::newtop::util::detail::CheckMessage m;                             \
+      m << __VA_ARGS__;                                                   \
+      ::newtop::util::check_failed(#expr, __FILE__, __LINE__, m.str());   \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define NEWTOP_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define NEWTOP_DCHECK(expr) NEWTOP_CHECK(expr)
+#endif

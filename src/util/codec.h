@@ -1,0 +1,164 @@
+// Binary serialization for wire messages.
+//
+// Writer appends little-endian fixed-width integers, LEB128 varints and
+// length-prefixed byte strings to a growable buffer; Reader consumes the
+// same formats and reports malformed input via a sticky error flag rather
+// than exceptions, so transport code can drop corrupt datagrams cheaply.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newtop::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  // Unsigned LEB128; compact for the small counters that dominate headers.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes&& take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (!need(1) || shift > 63) {
+        fail();
+        return 0;
+      }
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t n = varint();
+    if (!need(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (!need(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::uint64_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      fail();
+      return false;
+    }
+    return true;
+  }
+  void fail() { ok_ = false; }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace newtop::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Logging is rare and diagnostic-only in this codebase (the protocol engine
+// reports through return values, not logs), so the implementation favours
+// simplicity: printf-style formatting to stderr guarded by a global level.
+// Thread-safe: each log call writes a single formatted line with one write.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace newtop::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+inline std::atomic<int>& log_level_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+inline void set_log_level(LogLevel level) {
+  log_level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_level_storage().load(std::memory_order_relaxed);
+}
+
+inline void log_line(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], buf);
+}
+
+}  // namespace newtop::util
+
+#define NEWTOP_LOG_DEBUG(...) \
+  ::newtop::util::log_line(::newtop::util::LogLevel::kDebug, __VA_ARGS__)
+#define NEWTOP_LOG_INFO(...) \
+  ::newtop::util::log_line(::newtop::util::LogLevel::kInfo, __VA_ARGS__)
+#define NEWTOP_LOG_WARN(...) \
+  ::newtop::util::log_line(::newtop::util::LogLevel::kWarn, __VA_ARGS__)
+#define NEWTOP_LOG_ERROR(...) \
+  ::newtop::util::log_line(::newtop::util::LogLevel::kError, __VA_ARGS__)

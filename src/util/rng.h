@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// The simulator must be fully reproducible from a seed, so we use our own
+// small generators (SplitMix64 for seeding, xoshiro256** for the stream)
+// instead of std::mt19937, whose distributions are not guaranteed to be
+// identical across standard library implementations. All distribution
+// helpers here are implemented from first principles for the same reason.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace newtop::util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator (Blackman/Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    NEWTOP_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method for unbiased bounded output.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    NEWTOP_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                    : next_below(span));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool next_bool(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  // Exponentially distributed sample with the given mean (inverse CDF).
+  double next_exponential(double mean) noexcept {
+    NEWTOP_DCHECK(mean > 0.0);
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Normally distributed sample (Box-Muller, one value per call).
+  double next_normal(double mean, double stddev) noexcept {
+    double u1 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  // Forks a statistically independent generator; used to give each
+  // simulated component its own stream so adding a component does not
+  // perturb the randomness seen by others.
+  Rng fork() noexcept { return Rng(next_u64() ^ 0xd6e8feb86659fd93ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace newtop::util

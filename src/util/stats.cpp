@@ -1,0 +1,17 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace newtop::util {
+
+std::string Samples::summary() const {
+  if (values_.empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count()), mean(), p50(),
+                p90(), p99(), max());
+  return buf;
+}
+
+}  // namespace newtop::util

@@ -1,0 +1,89 @@
+// Lightweight statistics for benchmarks and experiment harnesses:
+// running mean/stddev (Welford) and percentile estimation over retained
+// samples. Sized for simulation output volumes (up to a few million
+// samples), not for unbounded production telemetry.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace newtop::util {
+
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains all samples; exact percentiles on demand.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    stat_.add(x);
+    sorted_ = false;
+  }
+
+  std::uint64_t count() const noexcept { return stat_.count(); }
+  double mean() const noexcept { return stat_.mean(); }
+  double stddev() const noexcept { return stat_.stddev(); }
+  double min() const noexcept { return stat_.min(); }
+  double max() const noexcept { return stat_.max(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  // p in [0, 100]; nearest-rank interpolation.
+  double percentile(double p) const {
+    NEWTOP_CHECK(!values_.empty());
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double rank =
+        (p / 100.0) * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double p50() const { return percentile(50); }
+  double p90() const { return percentile(90); }
+  double p99() const { return percentile(99); }
+
+  // One-line human-readable summary used by bench output.
+  std::string summary() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  RunningStat stat_;
+};
+
+}  // namespace newtop::util

@@ -1,0 +1,208 @@
+// Direct unit tests of the ARQ channel halves (ChannelSender /
+// ChannelReceiver), complementing the Router-level integration tests:
+// window accounting, retransmission timing, cumulative acks, reorder
+// buffering and duplicate suppression at the packet level.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "transport/fifo_channel.h"
+#include "util/rng.h"
+
+namespace newtop::transport {
+namespace {
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+struct DecodedData {
+  std::uint64_t seq;
+  std::uint64_t piggyback_ack;
+  util::Bytes payload;
+};
+
+DecodedData decode_data(const util::Bytes& packet) {
+  util::Reader r(packet);
+  EXPECT_EQ(static_cast<PacketKind>(r.u8()), PacketKind::kData);
+  DecodedData d;
+  d.seq = r.varint();
+  d.piggyback_ack = r.varint();
+  d.payload = r.bytes();
+  EXPECT_TRUE(r.at_end());
+  return d;
+}
+
+TEST(ChannelSender, AssignsSequentialSeqsFromOne) {
+  ChannelSender s{ChannelConfig{}};
+  std::vector<util::Bytes> out;
+  s.send(bytes_of("a"), 10, out, 0);
+  s.send(bytes_of("b"), 11, out, 0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(decode_data(out[0]).seq, 1u);
+  EXPECT_EQ(decode_data(out[1]).seq, 2u);
+  EXPECT_EQ(decode_data(out[0]).payload, bytes_of("a"));
+}
+
+TEST(ChannelSender, WindowHoldsExcessPackets) {
+  ChannelConfig cfg;
+  cfg.window = 2;
+  ChannelSender s{cfg};
+  std::vector<util::Bytes> out;
+  for (int i = 0; i < 5; ++i) s.send(bytes_of("x"), 1, out, 0);
+  EXPECT_EQ(out.size(), 2u);  // only the window's worth transmitted
+  EXPECT_EQ(s.backlog(), 5u);
+  // An ack for seq 1 releases exactly one more.
+  out.clear();
+  s.on_ack(1, 2, out, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(decode_data(out[0]).seq, 3u);
+  EXPECT_EQ(s.backlog(), 4u);
+}
+
+TEST(ChannelSender, CumulativeAckReleasesPrefix) {
+  ChannelConfig cfg;
+  cfg.window = 10;
+  ChannelSender s{cfg};
+  std::vector<util::Bytes> out;
+  for (int i = 0; i < 6; ++i) s.send(bytes_of("x"), 1, out, 0);
+  out.clear();
+  s.on_ack(4, 2, out, 0);  // acks 1..4 at once
+  EXPECT_EQ(s.backlog(), 2u);
+}
+
+TEST(ChannelSender, RetransmitsOnlyAfterRto) {
+  ChannelConfig cfg;
+  cfg.rto = 100;
+  ChannelSender s{cfg};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 1000, out, 0);
+  out.clear();
+  s.tick(1050, out, 0, stats);  // before RTO
+  EXPECT_TRUE(out.empty());
+  s.tick(1100, out, 0, stats);  // at RTO
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.retransmissions, 1u);
+  // The retransmission resets the timer.
+  out.clear();
+  s.tick(1150, out, 0, stats);
+  EXPECT_TRUE(out.empty());
+  s.tick(1200, out, 0, stats);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ChannelSender, AckStopsRetransmission) {
+  ChannelConfig cfg;
+  cfg.rto = 100;
+  ChannelSender s{cfg};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 1000, out, 0);
+  out.clear();
+  s.on_ack(1, 1010, out, 0);
+  s.tick(2000, out, 0, stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(ChannelSender, PiggybackAckRidesOnData) {
+  ChannelSender s{ChannelConfig{}};
+  std::vector<util::Bytes> out;
+  s.send(bytes_of("x"), 1, out, /*piggyback_ack=*/42);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(decode_data(out[0]).piggyback_ack, 42u);
+}
+
+TEST(ChannelReceiver, InOrderDeliveryAndCumAck) {
+  ChannelReceiver r{ChannelConfig{}};
+  ChannelStats stats;
+  std::vector<util::Bytes> delivered;
+  EXPECT_EQ(r.on_data(1, bytes_of("a"), delivered, stats), 1u);
+  EXPECT_EQ(r.on_data(2, bytes_of("b"), delivered, stats), 2u);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], bytes_of("a"));
+}
+
+TEST(ChannelReceiver, BuffersGapAndReleasesInOrder) {
+  ChannelReceiver r{ChannelConfig{}};
+  ChannelStats stats;
+  std::vector<util::Bytes> delivered;
+  EXPECT_EQ(r.on_data(3, bytes_of("c"), delivered, stats), 0u);
+  EXPECT_EQ(r.on_data(2, bytes_of("b"), delivered, stats), 0u);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(r.on_data(1, bytes_of("a"), delivered, stats), 3u);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], bytes_of("a"));
+  EXPECT_EQ(delivered[1], bytes_of("b"));
+  EXPECT_EQ(delivered[2], bytes_of("c"));
+}
+
+TEST(ChannelReceiver, DropsDuplicatesBelowAndInBuffer) {
+  ChannelReceiver r{ChannelConfig{}};
+  ChannelStats stats;
+  std::vector<util::Bytes> delivered;
+  r.on_data(1, bytes_of("a"), delivered, stats);
+  r.on_data(1, bytes_of("a"), delivered, stats);  // replay of delivered
+  r.on_data(3, bytes_of("c"), delivered, stats);
+  r.on_data(3, bytes_of("c"), delivered, stats);  // replay of buffered
+  EXPECT_EQ(stats.duplicates_dropped, 2u);
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST(ChannelReceiver, ReorderBufferCapDropsOverflow) {
+  ChannelConfig cfg;
+  cfg.max_reorder = 2;
+  ChannelReceiver r{cfg};
+  ChannelStats stats;
+  std::vector<util::Bytes> delivered;
+  r.on_data(10, bytes_of("j"), delivered, stats);
+  r.on_data(11, bytes_of("k"), delivered, stats);
+  r.on_data(12, bytes_of("l"), delivered, stats);  // over cap: dropped
+  // Fill the gap; only the two buffered arrive (12 retransmits later).
+  for (std::uint64_t s = 1; s <= 9; ++s) {
+    r.on_data(s, bytes_of("x"), delivered, stats);
+  }
+  EXPECT_EQ(delivered.size(), 11u);  // 1..11
+  EXPECT_EQ(r.cum_ack(), 11u);
+}
+
+TEST(ChannelPair, EndToEndWithLossyHandDelivery) {
+  // Manual lossy loop with randomized ~33% loss (a deterministic modulo
+  // pattern can align with the retransmission cycle and starve one seq
+  // forever); rely on tick-driven retransmission to push everything
+  // through.
+  ChannelConfig cfg;
+  cfg.rto = 50;
+  ChannelSender s{cfg};
+  ChannelReceiver r{cfg};
+  ChannelStats stats;
+  util::Rng rng(12345);
+  std::vector<util::Bytes> wire;
+  for (int i = 0; i < 20; ++i) {
+    s.send(bytes_of("m" + std::to_string(i)), 0, wire, 0);
+  }
+  std::vector<util::Bytes> delivered;
+  sim::Time now = 0;
+  while (delivered.size() < 20 && now < 100000) {
+    std::vector<util::Bytes> next_wire;
+    for (auto& pkt : wire) {
+      if (rng.next_bool(0.33)) continue;  // lose it
+      const auto d = decode_data(pkt);
+      const std::uint64_t ack = r.on_data(d.seq, d.payload, delivered, stats);
+      s.on_ack(ack, now, next_wire, 0);  // window-opened packets
+    }
+    wire = std::move(next_wire);
+    now += 50;
+    s.tick(now, wire, 0, stats);
+  }
+  ASSERT_EQ(delivered.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(delivered[i], bytes_of("m" + std::to_string(i)));
+  }
+  EXPECT_GT(stats.retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace newtop::transport

@@ -1,0 +1,206 @@
+// Stability and recovery deep tests (§5.1/§5.2): the retention buffer,
+// ldn piggybacking, refute-based message recovery including the
+// claimed_last mechanism for null gaps, the paper-literal pending-hold
+// path (self_refute = false), and retention hygiene across view changes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/sim_host.h"
+
+namespace newtop {
+namespace {
+
+using simhost::SimWorld;
+using simhost::WorldConfig;
+using sim::kMillisecond;
+using sim::kSecond;
+
+WorldConfig world_cfg(std::size_t n, std::uint64_t seed = 77) {
+  WorldConfig cfg;
+  cfg.processes = n;
+  cfg.seed = seed;
+  cfg.network.latency =
+      sim::LatencyModel::uniform(1 * kMillisecond, 6 * kMillisecond);
+  return cfg;
+}
+
+TEST(Stability, RetentionDrainsWhenAllLively) {
+  SimWorld w(world_cfg(3));
+  w.create_group(1, {0, 1, 2});
+  for (int i = 0; i < 30; ++i) {
+    w.multicast(0, 1, "m" + std::to_string(i));
+    w.run_for(5 * kMillisecond);
+  }
+  // Several omega rounds of nulls carry ldn until everything stabilises.
+  w.run_for(3 * kSecond);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(w.ep(p).retained_messages(1), 0u) << "P" << p;
+  }
+}
+
+TEST(Stability, SilentMemberBlocksStabilityUntilItSpeaks) {
+  // Stability = min over SV; a member that receives but never sends
+  // cannot raise others' SV entries for it until its nulls flow.
+  WorldConfig cfg = world_cfg(3);
+  cfg.host.endpoint.omega = 500 * kMillisecond;  // very lazy nulls
+  cfg.host.endpoint.omega_big = 5 * kSecond;
+  SimWorld w(cfg);
+  w.create_group(1, {0, 1, 2});
+  for (int i = 0; i < 10; ++i) w.multicast(0, 1, "x" + std::to_string(i));
+  w.run_for(300 * kMillisecond);  // under omega: no nulls yet
+  EXPECT_GT(w.ep(0).retained_messages(1), 0u);
+  w.run_for(3 * kSecond);  // nulls flow, ldn catches up
+  EXPECT_EQ(w.ep(0).retained_messages(1), 0u);
+}
+
+TEST(Recovery, RefutePiggybackRestoresLostAppMessages) {
+  SimWorld w(world_cfg(4, /*seed=*/81));
+  w.create_group(1, {0, 1, 2, 3});
+  w.run_for(300 * kMillisecond);
+  // One-way cut: P3's messages reach everyone but P0. The cut outlasts Ω
+  // so P0 genuinely suspects P3 and must be healed by refutation (a
+  // shorter cut would be absorbed by channel retransmission alone).
+  w.network().set_link_down(3, 0, true);
+  w.multicast(3, 1, "lost1");
+  w.multicast(3, 1, "lost2");
+  w.run_for(2 * kSecond);
+  w.network().set_link_down(3, 0, false);
+  w.run_for(10 * kSecond);
+  const auto d0 = w.process(0).delivered_strings(1);
+  EXPECT_EQ(std::count(d0.begin(), d0.end(), std::string("lost1")), 1);
+  EXPECT_EQ(std::count(d0.begin(), d0.end(), std::string("lost2")), 1);
+  EXPECT_EQ(d0, w.process(1).delivered_strings(1));
+  EXPECT_GT(w.ep(0).stats().messages_recovered +
+                w.ep(1).stats().refutes_sent,
+            0u);
+}
+
+TEST(Recovery, NullOnlyGapHealedByClaimedLast) {
+  // The suspect was only sending nulls during the outage. Nulls are not
+  // retained, so recovery piggybacks nothing — the refute's claimed_last
+  // must still advance the suspector's receive vector so delivery and the
+  // group stay live.
+  SimWorld w(world_cfg(3, /*seed=*/83));
+  w.create_group(1, {0, 1, 2});
+  w.run_for(300 * kMillisecond);
+  w.network().set_link_down(2, 0, true);
+  // No app traffic from P2: only nulls flow (and are lost towards P0).
+  w.run_for(2 * kSecond);  // P0 suspects; P1 refutes with claimed_last
+  w.network().set_link_down(2, 0, false);
+  w.run_for(2 * kSecond);
+  // Liveness check: a fresh message from P2 reaches P0 and delivery
+  // works (D was not stuck on the null gap).
+  w.multicast(2, 1, "after heal");
+  w.run_for(3 * kSecond);
+  const auto d0 = w.process(0).delivered_strings(1);
+  EXPECT_EQ(std::count(d0.begin(), d0.end(), std::string("after heal")), 1);
+}
+
+TEST(Recovery, PaperLiteralPendingHoldPath) {
+  // With self_refute disabled (the paper's exact event list), messages
+  // from a suspected process are held pending and released only by an
+  // incoming refute — end state must match the self-refute default.
+  WorldConfig cfg = world_cfg(3, /*seed=*/87);
+  cfg.host.endpoint.self_refute = false;
+  SimWorld w(cfg);
+  w.create_group(1, {0, 1, 2});
+  w.run_for(300 * kMillisecond);
+  w.network().set_link_down(2, 0, true);
+  w.multicast(2, 1, "held1");
+  w.run_for(2 * kSecond);  // P0 suspects P2
+  w.network().set_link_down(2, 0, false);
+  w.multicast(2, 1, "held2");
+  w.run_for(10 * kSecond);
+  const auto d0 = w.process(0).delivered_strings(1);
+  const auto d1 = w.process(1).delivered_strings(1);
+  EXPECT_EQ(d0, d1);
+  EXPECT_EQ(std::count(d0.begin(), d0.end(), std::string("held1")), 1);
+  EXPECT_EQ(std::count(d0.begin(), d0.end(), std::string("held2")), 1);
+}
+
+TEST(Recovery, NoDuplicateDeliveryWhenRecoveryRaces) {
+  // The same messages may arrive both through the healed channel and a
+  // refute piggyback; the per-emitter dedup must keep delivery single.
+  SimWorld w(world_cfg(4, /*seed=*/91));
+  w.create_group(1, {0, 1, 2, 3});
+  w.run_for(300 * kMillisecond);
+  w.network().set_link_down(3, 0, true);
+  for (int i = 0; i < 5; ++i) w.multicast(3, 1, "r" + std::to_string(i));
+  w.run_for(1500 * kMillisecond);
+  w.network().set_link_down(3, 0, false);  // channel retransmits everything
+  w.run_for(10 * kSecond);
+  const auto d0 = w.process(0).delivered_strings(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::count(d0.begin(), d0.end(), "r" + std::to_string(i)), 1)
+        << "message r" << i << " delivered wrong number of times";
+  }
+  EXPECT_GT(w.ep(0).stats().duplicates_dropped +
+                w.ep(0).stats().messages_recovered,
+            0u);
+}
+
+TEST(Stability, RetainedCutAboveLnmnAfterDetection) {
+  // After a detection, retained copies from the failed process above the
+  // lnmn cut are purged (they must never be piggybacked back to life).
+  SimWorld w(world_cfg(3, /*seed=*/93));
+  w.create_group(1, {0, 1, 2});
+  w.run_for(300 * kMillisecond);
+  w.crash(2);
+  ASSERT_TRUE(w.run_until_pred(
+      [&] {
+        const View* v = w.ep(0).view(1);
+        return v && v->members.size() == 2;
+      },
+      w.now() + 10 * kSecond));
+  // All bookkeeping for P2 gone at survivors.
+  w.run_for(3 * kSecond);
+  EXPECT_EQ(w.ep(0).retained_messages(1), 0u);
+}
+
+TEST(Stability, OwnUnstableTracksEchoForAsym) {
+  GroupOptions o;
+  o.mode = OrderMode::kAsymmetric;
+  WorldConfig cfg = world_cfg(3, /*seed=*/95);
+  cfg.network.latency = sim::LatencyModel::constant(30 * kMillisecond);
+  SimWorld w(cfg);
+  w.create_group(1, {0, 1, 2}, o);
+  w.run_for(300 * kMillisecond);
+  w.multicast(1, 1, "pending echo");
+  EXPECT_EQ(w.ep(1).own_unstable(1), 1u);  // outstanding until echoed
+  w.run_for(kSecond);
+  EXPECT_EQ(w.ep(1).own_unstable(1), 0u);
+}
+
+TEST(Recovery, PermanentOneWayCutStaysLive) {
+  // A persistent asymmetric cut (P2 -> P0 dead, everything else fine) is
+  // the awkward "virtual partition" corner. The protocol resolves it one
+  // of two ways, both acceptable: P1's honest refutations keep healing
+  // P0's suspicion (delivery limps along through recovery piggybacks and
+  // claimed_last, one Ω at a time), or a suspicion wins the race and
+  // someone is excluded. Either way the group must remain LIVE: new
+  // messages keep getting delivered at P0.
+  SimWorld w(world_cfg(3, /*seed=*/97));
+  w.create_group(1, {0, 1, 2});
+  w.run_for(300 * kMillisecond);
+  w.network().set_link_down(2, 0, true);  // permanent one-way cut
+  w.run_for(20 * kSecond);
+  const auto before = w.process(0).delivered_strings(1).size();
+  w.multicast(0, 1, "alive");
+  const bool delivered = w.run_until_pred(
+      [&] { return w.process(0).delivered_strings(1).size() > before; },
+      w.now() + 20 * kSecond);
+  EXPECT_TRUE(delivered) << "group wedged under a permanent one-way cut";
+  // And the refute machinery really was exercised (unless exclusion
+  // happened first, which also proves resolution).
+  std::uint64_t refutes = 0, installs = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    refutes += w.ep(p).stats().refutes_sent;
+    installs += w.ep(p).stats().views_installed;
+  }
+  EXPECT_GT(refutes + installs, 0u);
+}
+
+}  // namespace
+}  // namespace newtop

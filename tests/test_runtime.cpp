@@ -1,0 +1,136 @@
+// Tests for the threaded in-process runtime: the same protocol engine
+// under real concurrency and real time. Kept small and generously timed —
+// the deterministic simulation suite is the primary correctness harness;
+// these verify the threading host itself (mailboxes, command marshalling,
+// shutdown) and that the engine behaves identically under real threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "runtime/threaded_runtime.h"
+
+namespace newtop::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+RuntimeConfig fast_cfg() {
+  RuntimeConfig cfg;
+  cfg.endpoint.omega = 20 * sim::kMillisecond;
+  cfg.endpoint.omega_big = 100 * sim::kMillisecond;
+  cfg.tick_interval = 5 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(ThreadedRuntime, BasicTotalOrderDelivery) {
+  ThreadedRuntime rt(3, fast_cfg());
+  for (ProcessId p = 0; p < 3; ++p) rt.create_group(p, 1, {0, 1, 2});
+  // Static-bootstrap contract: all members install V0 before traffic
+  // (see Endpoint::create_group).
+  std::this_thread::sleep_for(100ms);
+  rt.multicast(0, 1, bytes_of("alpha"));
+  rt.multicast(1, 1, bytes_of("beta"));
+  ASSERT_TRUE(rt.wait_for_deliveries(1, 2, 10s));
+  auto strings = [&](ProcessId p) {
+    std::vector<std::string> out;
+    for (const auto& d : rt.deliveries(p)) {
+      out.emplace_back(d.payload.begin(), d.payload.end());
+    }
+    return out;
+  };
+  const auto ref = strings(0);
+  ASSERT_EQ(ref.size(), 2u);
+  EXPECT_EQ(strings(1), ref);
+  EXPECT_EQ(strings(2), ref);
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, ManyMessagesStayOrdered) {
+  ThreadedRuntime rt(3, fast_cfg());
+  for (ProcessId p = 0; p < 3; ++p) rt.create_group(p, 1, {0, 1, 2});
+  std::this_thread::sleep_for(100ms);  // bootstrap settle
+  const int kMsgs = 30;
+  for (int i = 0; i < kMsgs; ++i) {
+    rt.multicast(static_cast<ProcessId>(i % 3), 1,
+                 bytes_of("m" + std::to_string(i)));
+  }
+  ASSERT_TRUE(rt.wait_for_deliveries(1, kMsgs, 20s));
+  const auto d0 = rt.deliveries(0);
+  const auto d1 = rt.deliveries(1);
+  const auto d2 = rt.deliveries(2);
+  ASSERT_EQ(d0.size(), static_cast<std::size_t>(kMsgs));
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    EXPECT_EQ(d0[i].payload, d1[i].payload) << i;
+    EXPECT_EQ(d0[i].payload, d2[i].payload) << i;
+  }
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, CrashTriggersViewChange) {
+  ThreadedRuntime rt(3, fast_cfg());
+  for (ProcessId p = 0; p < 3; ++p) rt.create_group(p, 1, {0, 1, 2});
+  std::this_thread::sleep_for(100ms);  // bootstrap settle
+  rt.multicast(0, 1, bytes_of("pre"));
+  ASSERT_TRUE(rt.wait_for_deliveries(1, 1, 10s));
+  rt.crash(2);
+  // Survivors install {0, 1} within a few Ω.
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  bool ok = false;
+  while (std::chrono::steady_clock::now() < deadline && !ok) {
+    const auto v0 = rt.views(0);
+    const auto v1 = rt.views(1);
+    ok = !v0.empty() && !v1.empty() &&
+         v0.back().second.members == std::vector<ProcessId>{0, 1} &&
+         v1.back().second.members == std::vector<ProcessId>{0, 1};
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(ok) << "view change never happened under threads";
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, AsymmetricModeWorksUnderThreads) {
+  ThreadedRuntime rt(3, fast_cfg());
+  GroupOptions o;
+  o.mode = OrderMode::kAsymmetric;
+  for (ProcessId p = 0; p < 3; ++p) rt.create_group(p, 1, {0, 1, 2}, o);
+  std::this_thread::sleep_for(100ms);  // bootstrap settle
+  for (int i = 0; i < 10; ++i) {
+    rt.multicast(static_cast<ProcessId>(1 + i % 2), 1,
+                 bytes_of("a" + std::to_string(i)));
+  }
+  ASSERT_TRUE(rt.wait_for_deliveries(1, 10, 20s));
+  const auto d0 = rt.deliveries(0);
+  const auto d1 = rt.deliveries(1);
+  ASSERT_EQ(d0.size(), 10u);
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    EXPECT_EQ(d0[i].payload, d1[i].payload);
+  }
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, DynamicFormationUnderThreads) {
+  ThreadedRuntime rt(3, fast_cfg());
+  rt.initiate_group(0, 5, {0, 1, 2});
+  // Formation completes asynchronously; then traffic flows.
+  std::this_thread::sleep_for(300ms);
+  rt.multicast(1, 5, bytes_of("formed"));
+  ASSERT_TRUE(rt.wait_for_deliveries(5, 1, 10s));
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, CleanShutdownIsIdempotent) {
+  ThreadedRuntime rt(2, fast_cfg());
+  rt.create_group(0, 1, {0, 1});
+  rt.create_group(1, 1, {0, 1});
+  rt.multicast(0, 1, bytes_of("x"));
+  rt.shutdown();
+  rt.shutdown();  // second call is a no-op
+}
+
+}  // namespace
+}  // namespace newtop::runtime

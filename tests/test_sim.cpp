@@ -1,0 +1,251 @@
+// Unit tests for the discrete-event simulator and the network model:
+// event ordering, cancellation, virtual time semantics, latency sampling,
+// loss/duplication, partitions and node crashes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace newtop::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(3); });  // same time: FIFO
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId id = q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(6, [&] { order.push_back(2); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NextTimeReflectsCancellation) {
+  EventQueue q;
+  const EventId id = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_after(10, [&] { ++fired; });
+  s.schedule_after(30, [&] { ++fired; });
+  s.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(40);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsSeeCurrentTime) {
+  Simulator s;
+  Time observed = -1;
+  s.schedule_after(15, [&] { observed = s.now(); });
+  s.run_for(20);
+  EXPECT_EQ(observed, 15);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<Time> fires;
+  s.schedule_after(5, [&] {
+    fires.push_back(s.now());
+    s.schedule_after(5, [&] { fires.push_back(s.now()); });
+  });
+  s.run_for(100);
+  EXPECT_EQ(fires, (std::vector<Time>{5, 10}));
+}
+
+TEST(Simulator, RunUntilPredStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_after(i * 10, [&] { ++count; });
+  }
+  EXPECT_TRUE(s.run_until_pred([&] { return count >= 3; }, 1000));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(LatencyModel, ConstantIsExact) {
+  util::Rng rng(1);
+  auto m = LatencyModel::constant(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(rng), 7);
+}
+
+TEST(LatencyModel, UniformWithinBounds) {
+  util::Rng rng(2);
+  auto m = LatencyModel::uniform(10, 20);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = m.sample(rng);
+    ASSERT_GE(d, 10);
+    ASSERT_LE(d, 20);
+  }
+}
+
+struct TestNet {
+  Simulator sim;
+  Network net;
+  std::vector<std::vector<std::pair<NodeId, util::Bytes>>> received;
+
+  explicit TestNet(std::size_t n, NetworkConfig cfg = {})
+      : net(sim, cfg, util::Rng(99)) {
+    received.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net.add_node(
+          [this, i](NodeId from, const util::Bytes& data) {
+            received[i].emplace_back(from, data);
+          });
+      EXPECT_EQ(id, i);
+    }
+  }
+};
+
+util::Bytes payload(std::uint8_t b) { return util::Bytes{b}; }
+
+TEST(Network, DeliversWithLatency) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(5 * kMillisecond);
+  TestNet t(2, cfg);
+  t.net.send(0, 1, payload(42));
+  t.sim.run_for(4 * kMillisecond);
+  EXPECT_TRUE(t.received[1].empty());
+  t.sim.run_for(2 * kMillisecond);
+  ASSERT_EQ(t.received[1].size(), 1u);
+  EXPECT_EQ(t.received[1][0].first, 0u);
+  EXPECT_EQ(t.received[1][0].second, payload(42));
+}
+
+TEST(Network, DropProbabilityOneDropsAll) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  TestNet t(2, cfg);
+  for (int i = 0; i < 20; ++i) t.net.send(0, 1, payload(1));
+  t.sim.run_for(kSecond);
+  EXPECT_TRUE(t.received[1].empty());
+  EXPECT_EQ(t.net.stats().datagrams_dropped, 20u);
+}
+
+TEST(Network, DuplicationDelivers2Copies) {
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(2, cfg);
+  t.net.send(0, 1, payload(7));
+  t.sim.run_for(10);
+  EXPECT_EQ(t.received[1].size(), 2u);
+}
+
+TEST(Network, PartitionBlocksAcrossAndAllowsWithin) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(4, cfg);
+  t.net.partition({{0, 1}, {2, 3}});
+  t.net.send(0, 1, payload(1));
+  t.net.send(0, 2, payload(2));
+  t.net.send(3, 2, payload(3));
+  t.sim.run_for(10);
+  EXPECT_EQ(t.received[1].size(), 1u);
+  EXPECT_EQ(t.received[2].size(), 1u);  // only from 3
+  EXPECT_EQ(t.received[2][0].first, 3u);
+  EXPECT_EQ(t.net.stats().datagrams_partitioned, 1u);
+}
+
+TEST(Network, HealRestoresConnectivity) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(2, cfg);
+  t.net.partition({{0}, {1}});
+  t.net.send(0, 1, payload(1));
+  t.net.heal();
+  t.net.send(0, 1, payload(2));
+  t.sim.run_for(10);
+  ASSERT_EQ(t.received[1].size(), 1u);
+  EXPECT_EQ(t.received[1][0].second, payload(2));
+}
+
+TEST(Network, UnlistedNodesGetSingletonComponents) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(3, cfg);
+  t.net.partition({{0, 1}});  // node 2 unlisted
+  t.net.send(0, 2, payload(1));
+  t.net.send(2, 1, payload(2));
+  t.sim.run_for(10);
+  EXPECT_TRUE(t.received[2].empty());
+  EXPECT_TRUE(t.received[1].empty());
+}
+
+TEST(Network, AsymmetricLinkCut) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(2, cfg);
+  t.net.set_link_down(0, 1, true);
+  t.net.send(0, 1, payload(1));
+  t.net.send(1, 0, payload(2));
+  t.sim.run_for(10);
+  EXPECT_TRUE(t.received[1].empty());
+  EXPECT_EQ(t.received[0].size(), 1u);  // reverse direction still up
+}
+
+TEST(Network, DownNodeNeitherSendsNorReceives) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(2, cfg);
+  t.net.set_node_down(1, true);
+  t.net.send(0, 1, payload(1));
+  t.net.send(1, 0, payload(2));
+  t.sim.run_for(10);
+  EXPECT_TRUE(t.received[1].empty());
+  EXPECT_TRUE(t.received[0].empty());
+}
+
+TEST(Network, PerLinkLatencyOverride) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(3, cfg);
+  t.net.set_link_latency(0, 2, LatencyModel::constant(100));
+  t.net.send(0, 1, payload(1));  // default latency
+  t.net.send(0, 2, payload(2));  // overridden slow link
+  t.sim.run_for(10);
+  EXPECT_EQ(t.received[1].size(), 1u);
+  EXPECT_TRUE(t.received[2].empty());
+  t.sim.run_for(100);
+  EXPECT_EQ(t.received[2].size(), 1u);
+  // Override is per-direction: the reverse path stays fast.
+  t.net.send(2, 0, payload(3));
+  t.sim.run_for(10);
+  EXPECT_EQ(t.received[0].size(), 1u);
+  t.net.clear_link_latency(0, 2);
+  t.net.send(0, 2, payload(4));
+  t.sim.run_for(10);
+  EXPECT_EQ(t.received[2].size(), 2u);
+}
+
+TEST(Network, InFlightPacketDiscardedIfReceiverCrashes) {
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(10);
+  TestNet t(2, cfg);
+  t.net.send(0, 1, payload(1));
+  t.sim.run_for(5);
+  t.net.set_node_down(1, true);  // crash while packet is in flight
+  t.sim.run_for(20);
+  EXPECT_TRUE(t.received[1].empty());
+}
+
+}  // namespace
+}  // namespace newtop::sim

@@ -1,0 +1,158 @@
+// Integration tests of the UDP transport host: the full Newtop stack over
+// real loopback sockets and real threads. Small and generously timed; the
+// simulator suite owns protocol correctness, these own the socket host.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/udp_transport.h"
+
+namespace newtop::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+UdpNodeConfig fast_cfg() {
+  UdpNodeConfig cfg;
+  cfg.endpoint.omega = 20 * sim::kMillisecond;
+  cfg.endpoint.omega_big = 150 * sim::kMillisecond;
+  cfg.channel.rto = 30 * sim::kMillisecond;
+  return cfg;
+}
+
+// Builds n nodes on ephemeral ports, fully meshed.
+std::vector<std::unique_ptr<UdpNode>> make_mesh(std::size_t n) {
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<UdpNode>(static_cast<ProcessId>(i),
+                                              /*port=*/0, fast_cfg()));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        nodes[i]->add_peer(static_cast<ProcessId>(j), nodes[j]->port());
+      }
+    }
+  }
+  for (auto& node : nodes) node->start();
+  return nodes;
+}
+
+bool wait_for(const std::function<bool()>& pred,
+              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+TEST(UdpTransport, SocketBindsEphemeralPort) {
+  UdpSocket s(0);
+  EXPECT_GT(s.port(), 0);
+}
+
+TEST(UdpTransport, RawDatagramRoundTrip) {
+  UdpSocket a(0), b(0);
+  a.send_to(b.port(), bytes_of("ping"));
+  ASSERT_TRUE(b.wait_readable(1000));
+  std::uint16_t from;
+  util::Bytes data;
+  ASSERT_TRUE(b.receive(from, data));
+  EXPECT_EQ(from, a.port());
+  EXPECT_EQ(data, bytes_of("ping"));
+}
+
+TEST(UdpTransport, TotalOrderOverLoopback) {
+  auto nodes = make_mesh(3);
+  std::vector<ProcessId> members{0, 1, 2};
+  for (auto& node : nodes) node->create_group(1, members);
+  // Static bootstrap contract (see Endpoint::create_group): all members
+  // must have installed V0 before traffic flows. Over real threads that
+  // needs a settle delay; dynamic formation (tested below) avoids it.
+  std::this_thread::sleep_for(100ms);
+  nodes[0]->multicast(1, bytes_of("a"));
+  nodes[1]->multicast(1, bytes_of("b"));
+  nodes[2]->multicast(1, bytes_of("c"));
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (auto& node : nodes) {
+          if (node->delivery_count(1) < 3) return false;
+        }
+        return true;
+      },
+      10s));
+  const auto ref = nodes[0]->deliveries();
+  ASSERT_EQ(ref.size(), 3u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto d = nodes[i]->deliveries();
+    ASSERT_EQ(d.size(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(d[k].payload, ref[k].payload) << "node " << i << " pos " << k;
+      EXPECT_EQ(d[k].sender, ref[k].sender);
+    }
+  }
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(UdpTransport, NodeStopTriggersViewChange) {
+  auto nodes = make_mesh(3);
+  std::vector<ProcessId> members{0, 1, 2};
+  for (auto& node : nodes) node->create_group(1, members);
+  std::this_thread::sleep_for(100ms);  // bootstrap settle (see above)
+  nodes[0]->multicast(1, bytes_of("warmup"));
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (auto& node : nodes) {
+          if (node->delivery_count(1) < 1) return false;
+        }
+        return true;
+      },
+      10s));
+  nodes[2]->stop();  // "crash"
+  ASSERT_TRUE(wait_for(
+      [&] {
+        const auto v0 = nodes[0]->views();
+        const auto v1 = nodes[1]->views();
+        return !v0.empty() &&
+               v0.back().second.members == std::vector<ProcessId>{0, 1} &&
+               !v1.empty() &&
+               v1.back().second.members == std::vector<ProcessId>{0, 1};
+      },
+      15s))
+      << "survivors never excluded the stopped node";
+  // Traffic continues among survivors.
+  nodes[1]->multicast(1, bytes_of("post-crash"));
+  ASSERT_TRUE(wait_for([&] { return nodes[0]->delivery_count(1) >= 2; },
+                       10s));
+  nodes[0]->stop();
+  nodes[1]->stop();
+}
+
+TEST(UdpTransport, DynamicFormationOverLoopback) {
+  auto nodes = make_mesh(3);
+  nodes[0]->initiate_group(5, {0, 1, 2});
+  std::this_thread::sleep_for(300ms);
+  nodes[1]->multicast(5, bytes_of("over udp"));
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (auto& node : nodes) {
+          if (node->delivery_count(5) < 1) return false;
+        }
+        return true;
+      },
+      10s));
+  for (auto& node : nodes) node->stop();
+}
+
+}  // namespace
+}  // namespace newtop::transport

@@ -1,0 +1,195 @@
+// Unit tests for the util substrate: RNG determinism and distributions,
+// binary codec round-trips and malformed-input handling, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/codec.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace newtop::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.5);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(21);
+  Rng b = a.fork();
+  // The fork should not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,       1,          127,        128,
+                                  16383,   16384,      UINT32_MAX, 1ULL << 56,
+                                  UINT64_MAX};
+  Writer w;
+  for (auto v : values) w.varint(v);
+  Reader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, BytesAndStringsRoundTrip) {
+  Writer w;
+  w.str("hello");
+  Bytes payload{1, 2, 3, 255};
+  w.bytes(payload);
+  w.str("");
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, TruncatedInputSetsError) {
+  Writer w;
+  w.u64(12345);
+  Bytes data = w.data();
+  data.resize(4);  // cut mid-field
+  Reader r(data);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OverlongVarintRejected) {
+  Bytes data(11, 0xFF);  // continuation bit forever
+  Reader r(data);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, LengthPrefixBeyondBufferRejected) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  Reader r(w.data());
+  (void)r.bytes();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(Stats, PercentilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.05);
+}
+
+TEST(Stats, SummaryMentionsCount) {
+  Samples s;
+  s.add(1);
+  s.add(2);
+  EXPECT_NE(s.summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace newtop::util

@@ -1,0 +1,201 @@
+// Round-trip and robustness tests for the Newtop wire format, plus the
+// message-space-overhead property §6 claims (O(1) ordering metadata).
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+
+namespace newtop {
+namespace {
+
+TEST(Wire, OrderedMsgRoundTrip) {
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  m.group = 7;
+  m.sender = 3;
+  m.emitter = 3;
+  m.counter = 123456;
+  m.origin_counter = 0;
+  m.ldn = 99;
+  m.payload = {1, 2, 3};
+  const auto raw = m.encode();
+  const auto d = OrderedMsg::decode(raw);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kApp);
+  EXPECT_EQ(d->group, 7u);
+  EXPECT_EQ(d->sender, 3u);
+  EXPECT_EQ(d->emitter, 3u);
+  EXPECT_EQ(d->counter, 123456u);
+  EXPECT_EQ(d->ldn, 99u);
+  EXPECT_EQ(d->payload, (util::Bytes{1, 2, 3}));
+}
+
+TEST(Wire, EchoCarriesOriginDistinctFromEmitter) {
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  m.group = 1;
+  m.sender = 5;   // origin (m.s)
+  m.emitter = 0;  // sequencer
+  m.counter = 42;
+  m.origin_counter = 17;
+  const auto d = OrderedMsg::decode(m.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->sender, 5u);
+  EXPECT_EQ(d->emitter, 0u);
+  EXPECT_EQ(d->origin_counter, 17u);
+}
+
+TEST(Wire, NullMsgRoundTrip) {
+  OrderedMsg m;
+  m.type = MsgType::kNull;
+  m.group = 2;
+  m.sender = m.emitter = 4;
+  m.counter = 9;
+  m.ldn = 8;
+  const auto d = OrderedMsg::decode(m.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kNull);
+  EXPECT_TRUE(d->payload.empty());
+}
+
+TEST(Wire, FwdRoundTrip) {
+  FwdMsg f;
+  f.group = 3;
+  f.origin = 8;
+  f.origin_counter = 77;
+  f.payload = {9, 9};
+  const auto d = FwdMsg::decode(f.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->origin, 8u);
+  EXPECT_EQ(d->origin_counter, 77u);
+  EXPECT_EQ(d->payload, (util::Bytes{9, 9}));
+}
+
+TEST(Wire, SuspectRoundTrip) {
+  SuspectMsg s;
+  s.group = 1;
+  s.suspicion = {4, 500};
+  const auto d = SuspectMsg::decode(s.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->suspicion.process, 4u);
+  EXPECT_EQ(d->suspicion.ln, 500u);
+}
+
+TEST(Wire, RefuteRoundTripWithRecovery) {
+  OrderedMsg inner;
+  inner.type = MsgType::kApp;
+  inner.group = 1;
+  inner.sender = inner.emitter = 2;
+  inner.counter = 501;
+  RefuteMsg r;
+  r.group = 1;
+  r.suspicion = {2, 500};
+  r.claimed_last = 502;
+  r.recovered.push_back(inner.encode());
+  const auto d = RefuteMsg::decode(r.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->claimed_last, 502u);
+  ASSERT_EQ(d->recovered.size(), 1u);
+  const auto di = OrderedMsg::decode(d->recovered[0]);
+  ASSERT_TRUE(di.has_value());
+  EXPECT_EQ(di->counter, 501u);
+}
+
+TEST(Wire, ConfirmRoundTripMultiEntry) {
+  ConfirmMsg c;
+  c.group = 9;
+  c.detection = {{1, 10}, {2, 20}, {3, 30}};
+  const auto d = ConfirmMsg::decode(c.encode());
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->detection.size(), 3u);
+  EXPECT_EQ(d->detection[1].process, 2u);
+  EXPECT_EQ(d->detection[2].ln, 30u);
+}
+
+TEST(Wire, FormInviteRoundTrip) {
+  FormInviteMsg f;
+  f.group = 11;
+  f.initiator = 0;
+  f.options.mode = OrderMode::kAsymmetric;
+  f.options.guarantee = Guarantee::kAtomicOnly;
+  f.options.failure_free = true;
+  f.members = {0, 1, 2};
+  const auto d = FormInviteMsg::decode(f.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->options.mode, OrderMode::kAsymmetric);
+  EXPECT_EQ(d->options.guarantee, Guarantee::kAtomicOnly);
+  EXPECT_TRUE(d->options.failure_free);
+  EXPECT_EQ(d->members, (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(Wire, FormReplyRoundTrip) {
+  FormReplyMsg f;
+  f.group = 11;
+  f.voter = 2;
+  f.yes = true;
+  const auto d = FormReplyMsg::decode(f.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->yes);
+  EXPECT_EQ(d->voter, 2u);
+}
+
+TEST(Wire, PeekTypeMatchesAllTypes) {
+  OrderedMsg m;
+  m.type = MsgType::kLeave;
+  EXPECT_EQ(peek_type(m.encode()), MsgType::kLeave);
+  SuspectMsg s;
+  EXPECT_EQ(peek_type(s.encode()), MsgType::kSuspect);
+  EXPECT_EQ(peek_type({}), std::nullopt);
+  EXPECT_EQ(peek_type(util::Bytes{0x7F}), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsWrongType) {
+  SuspectMsg s;
+  EXPECT_FALSE(OrderedMsg::decode(s.encode()).has_value());
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  EXPECT_FALSE(SuspectMsg::decode(m.encode()).has_value());
+}
+
+TEST(Wire, DecodeRejectsTrailingGarbage) {
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  auto raw = m.encode();
+  raw.push_back(0x00);
+  EXPECT_FALSE(OrderedMsg::decode(raw).has_value());
+}
+
+TEST(Wire, DecodeRejectsTruncation) {
+  ConfirmMsg c;
+  c.group = 1;
+  c.detection = {{1, 10}, {2, 20}};
+  auto raw = c.encode();
+  raw.resize(raw.size() - 1);
+  EXPECT_FALSE(ConfirmMsg::decode(raw).has_value());
+}
+
+// §6 headline: Newtop's ordering metadata is bounded and does not grow
+// with group size — the App header carries no per-member data, unlike a
+// vector clock (n entries) or a Psync predecessor list (up to n-1 ids).
+TEST(Wire, HeaderSizeBoundedRegardlessOfGroupSize) {
+  // Worst-ish case: large ids and counters after long uptime.
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  m.group = 1u << 30;
+  m.sender = m.emitter = 1u << 30;
+  m.counter = 1ULL << 60;
+  m.origin_counter = 1ULL << 60;
+  m.ldn = 1ULL << 60;
+  EXPECT_LT(m.encode().size(), 64u);  // "low and bounded"
+
+  // Typical steady-state message: a couple dozen bytes at most.
+  OrderedMsg typical;
+  typical.type = MsgType::kApp;
+  typical.group = 3;
+  typical.sender = typical.emitter = 17;
+  typical.counter = 1'000'000;
+  typical.ldn = 999'990;
+  EXPECT_LE(typical.encode().size(), 16u);
+}
+
+}  // namespace
+}  // namespace newtop
