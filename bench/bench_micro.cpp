@@ -24,7 +24,7 @@ using namespace newtop::benchutil;
 void BM_MicroNewtopReceive(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   EndpointHooks hooks;
-  hooks.send = [](ProcessId, util::Bytes) {};
+  hooks.send = [](ProcessId, util::SharedBytes) {};
   std::uint64_t delivered = 0;
   hooks.deliver = [&delivered](const Delivery&) { ++delivered; };
   Config cfg;

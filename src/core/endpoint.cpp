@@ -1,8 +1,10 @@
-// Endpoint implementation: construction, application API, the ordered
-// plane (logical clocks, receive vectors, delivery conditions safe1'/safe2,
-// time-silence, the asymmetric sequencer path and the blocking rules) and
-// message dispatch. The membership service and group formation live in
-// endpoint_membership.cpp / endpoint_formation.cpp.
+// Endpoint implementation: construction, application API, the shared
+// ordered-plane machinery (logical clock, delivery conditions
+// safe1'/safe2, time-silence, stability) and message dispatch. The
+// per-discipline ordering logic lives behind OrderingPlane
+// (ordering_symmetric.cpp / ordering_asymmetric.cpp); the membership
+// service and group formation live in endpoint_membership.cpp /
+// endpoint_formation.cpp.
 #include "core/endpoint.h"
 
 #include <algorithm>
@@ -50,12 +52,12 @@ void Endpoint::create_group(GroupId g, std::vector<ProcessId> members,
   GroupState& gs = it->second;
   gs.id = g;
   gs.opts = options;
+  gs.plane = make_ordering_plane(options.mode, *this);
   gs.view.seq = 0;
   gs.view.members = std::move(members);
   gs.open = true;
   gs.last_sent = now;
   for (ProcessId p : gs.view.members) {
-    gs.rv[p] = 0;
     if (p != self_) gs.last_activity[p] = now;
   }
 }
@@ -97,6 +99,11 @@ void Endpoint::leave_group(GroupId g, Time now) {
 void Endpoint::on_message(ProcessId from, const util::Bytes& data,
                           Time now) {
   Reentrancy scope(*this);
+  dispatch_message(from, data, now, /*allow_batch=*/true);
+}
+
+void Endpoint::dispatch_message(ProcessId from, const util::Bytes& data,
+                                Time now, bool allow_batch) {
   const auto type = peek_type(data);
   if (!type) {
     NEWTOP_LOG_WARN("P%u: dropping malformed message from P%u", self_, from);
@@ -114,7 +121,23 @@ void Endpoint::on_message(ProcessId from, const util::Bytes& data,
     }
     case MsgType::kFwd: {
       if (auto m = FwdMsg::decode(data)) {
-        if (GroupState* gs = find_group(m->group)) handle_fwd(*gs, *m, now);
+        if (GroupState* gs = find_group(m->group)) {
+          gs->plane->handle_fwd(*gs, *m, now);
+        }
+      }
+      break;
+    }
+    case MsgType::kBatch: {
+      if (!allow_batch) {
+        // Second line of defense: BatchFrame::decode already rejects
+        // nested frames, so this only fires if the wire rules drift.
+        NEWTOP_LOG_WARN("P%u: dropping nested batch from P%u", self_, from);
+        break;
+      }
+      if (auto b = BatchFrame::decode(data)) {
+        for (const auto& sub : b->payloads) {
+          dispatch_message(from, sub, now, /*allow_batch=*/false);
+        }
       }
       break;
     }
@@ -155,15 +178,11 @@ void Endpoint::on_tick(Time now) {
     const bool live = gs->open || (gs->forming && gs->forming->activated);
     if (live) {
       // Time-silence (§4.1): stay lively so that every member's receive
-      // vector entries — and hence D — keep advancing. In the
-      // fault-tolerant protocol every process runs this in every group
-      // (§5: "failures cannot be detected otherwise"). In a failure-free
-      // asymmetric group only the sequencer's stream gates delivery, so
-      // only it needs time-silence (§4.2).
-      const bool silent_role = gs->opts.failure_free &&
-                               gs->opts.mode == OrderMode::kAsymmetric &&
-                               sequencer(*gs) != self_;
-      if (!silent_role && now - gs->last_sent >= cfg_.omega) {
+      // vector entries — and hence D — keep advancing. The plane knows
+      // which roles are exempt (§4.2: failure-free asymmetric
+      // non-sequencers).
+      if (gs->plane->runs_time_silence(*gs) &&
+          now - gs->last_sent >= cfg_.omega) {
         emit_ordered(*gs, MsgType::kNull, {}, now);
       }
       if (!gs->opts.failure_free) tick_suspector(*gs, now);
@@ -211,7 +230,7 @@ std::vector<GroupId> Endpoint::group_ids() const {
 
 ProcessId Endpoint::sequencer_of(GroupId g) const {
   const GroupState* gs = find_group(g);
-  return gs != nullptr ? sequencer(*gs) : kNoProcess;
+  return gs != nullptr ? newtop::sequencer_of(gs->view) : kNoProcess;
 }
 
 bool Endpoint::open_for_app(GroupId g) const {
@@ -251,14 +270,40 @@ bool Endpoint::suspects(GroupId g, ProcessId p) const {
 
 std::size_t Endpoint::own_unstable(GroupId g) const {
   const GroupState* gs = find_group(g);
-  if (gs == nullptr) return 0;
-  if (gs->opts.mode == OrderMode::kAsymmetric) return gs->outstanding.size();
-  auto it = gs->retained.find(self_);
-  return it != gs->retained.end() ? it->second.size() : 0;
+  return gs != nullptr ? gs->plane->own_unstable(*gs) : 0;
 }
 
 // ---------------------------------------------------------------------
-// Ordered plane internals
+// PlaneHost services
+// ---------------------------------------------------------------------
+
+Counter Endpoint::ldn(const GroupCtx& g) const {
+  return group_d(static_cast<const GroupState&>(g));
+}
+
+void Endpoint::unicast(ProcessId to, util::SharedBytes raw) {
+  hooks_.send(to, std::move(raw));
+}
+
+void Endpoint::fan_out(const GroupCtx& g, const util::SharedBytes& raw) {
+  for (ProcessId p : g.view.members) {
+    if (p != self_) hooks_.send(p, raw);
+  }
+}
+
+void Endpoint::loop_back(const OrderedMsg& m, Time now) {
+  process_ordered(self_, m, now, /*via_recovery=*/false);
+}
+
+void Endpoint::multicast_self(GroupCtx& g, MsgType type,
+                              util::Bytes payload, Time now) {
+  emit_ordered(static_cast<GroupState&>(g), type, std::move(payload), now);
+}
+
+void Endpoint::sends_unblocked(Time now) { pump_sends(now); }
+
+// ---------------------------------------------------------------------
+// Shared ordered-plane machinery
 // ---------------------------------------------------------------------
 
 Endpoint::GroupState* Endpoint::find_group(GroupId g) {
@@ -273,12 +318,6 @@ const Endpoint::GroupState* Endpoint::find_group(GroupId g) const {
                                                       : nullptr;
 }
 
-ProcessId Endpoint::sequencer(const GroupState& gs) const {
-  // "a deterministic algorithm (so processes that have the same view are
-  // guaranteed to choose the same sequencer)" §4.2 — lowest member id.
-  return gs.view.members.empty() ? kNoProcess : gs.view.members.front();
-}
-
 bool Endpoint::counts_for_global_d(const GroupState& gs) const {
   if (gs.defunct) return false;
   if (gs.opts.guarantee != Guarantee::kTotalOrder) return false;
@@ -289,23 +328,7 @@ Counter Endpoint::group_d(const GroupState& gs) const {
   // During the start-group wait (§5.3 step 5) D is pinned to the largest
   // start-number seen so far.
   if (gs.forming && gs.forming->activated) return gs.forming->start_max;
-  if (gs.opts.mode == OrderMode::kAsymmetric) {
-    const ProcessId seq = sequencer(gs);
-    auto it = gs.rv.find(seq);
-    return it != gs.rv.end() ? it->second : 0;
-  }
-  Counter d = kCounterMax;
-  for (ProcessId p : gs.view.members) {
-    auto it = gs.rv.find(p);
-    d = std::min(d, it != gs.rv.end() ? it->second : 0);
-  }
-  return d == kCounterMax ? 0 : d;
-}
-
-void Endpoint::send_to_others(const GroupState& gs, const util::Bytes& raw) {
-  for (ProcessId p : gs.view.members) {
-    if (p != self_) hooks_.send(p, raw);
-  }
+  return gs.plane->group_d(gs);
 }
 
 void Endpoint::emit_ordered(GroupState& gs, MsgType type,
@@ -323,62 +346,9 @@ void Endpoint::emit_ordered(GroupState& gs, MsgType type,
   gs.last_sent = now;
   if (type == MsgType::kApp) ++stats_.app_multicasts;
   if (type == MsgType::kNull) ++stats_.nulls_sent;
-  const util::Bytes raw = m.encode();
-  send_to_others(gs, raw);
+  fan_out(gs, util::share(m.encode()));
   // "Pi delivers its own messages also by executing the protocol" §3.
   process_ordered(self_, m, now, /*via_recovery=*/false);
-}
-
-void Endpoint::emit_fwd(GroupState& gs, util::Bytes payload, Time now) {
-  // §4.2: unicast to the sequencer; the unicast updates the logical clock
-  // exactly as a multicast does.
-  const Counter oc = lc_.stamp_send();
-  gs.outstanding.push_back(OutstandingFwd{oc, payload});
-  ++stats_.fwds_sent;
-  ++stats_.app_multicasts;
-  FwdMsg f;
-  f.group = gs.id;
-  f.origin = self_;
-  f.origin_counter = oc;
-  f.payload = std::move(payload);
-  const ProcessId seq = sequencer(gs);
-  if (seq == self_) {
-    // "A process that also happens to be the sequencer will logically
-    // follow the same procedure, unicasting to itself."
-    handle_fwd(gs, f, now);
-  } else {
-    hooks_.send(seq, f.encode());
-  }
-}
-
-void Endpoint::handle_fwd(GroupState& gs, const FwdMsg& fwd, Time now) {
-  if (!gs.open) return;
-  if (!gs.view.contains(fwd.origin) || gs.left.count(fwd.origin) > 0) return;
-  if (sequencer(gs) != self_) return;  // stale view at origin; it resubmits
-  lc_.observe(fwd.origin_counter);     // CA2 for the unicast receive
-  const Counter seen = std::max(
-      gs.oc_forwarded.count(fwd.origin) ? gs.oc_forwarded[fwd.origin] : 0,
-      gs.oc_seen.count(fwd.origin) ? gs.oc_seen[fwd.origin] : 0);
-  if (fwd.origin_counter <= seen) return;  // failover re-submission dup
-  gs.oc_forwarded[fwd.origin] = fwd.origin_counter;
-  if (fwd.origin != self_) {
-    gs.last_activity[fwd.origin] = now;
-    ++stats_.echoes_sequenced;
-  }
-  const Counter c = lc_.stamp_send();  // CA1 for the echo multicast
-  OrderedMsg echo;
-  echo.type = MsgType::kApp;
-  echo.group = gs.id;
-  echo.sender = fwd.origin;
-  echo.emitter = self_;
-  echo.counter = c;
-  echo.origin_counter = fwd.origin_counter;
-  echo.ldn = group_d(gs);
-  echo.payload = fwd.payload;
-  gs.last_sent = now;
-  const util::Bytes raw = echo.encode();
-  send_to_others(gs, raw);
-  process_ordered(self_, echo, now, /*via_recovery=*/false);
 }
 
 void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
@@ -428,32 +398,15 @@ void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
 
   lc_.observe(msg.counter);  // CA2
 
-  // Per-emitter stream dedup + receive vector advance (CA-safe because
-  // the transport is FIFO and counters increase along a stream).
-  Counter& last = gs->rv[msg.emitter];
-  if (msg.counter <= last) {
-    ++stats_.duplicates_dropped;
-    return;
-  }
-  last = msg.counter;
-
-  bool duplicate_echo = false;
-  if (gs->opts.mode == OrderMode::kAsymmetric &&
-      msg.type == MsgType::kApp) {
-    // Failover dedup: an echo re-sequenced by a new sequencer after the
-    // origin re-submitted carries the same origin counter.
-    Counter& oc_seen = gs->oc_seen[msg.sender];
-    if (msg.origin_counter <= oc_seen) {
-      duplicate_echo = true;
-      ++stats_.duplicates_dropped;
-    } else {
-      oc_seen = msg.origin_counter;
-      gs->attributed[msg.sender] = msg.counter;
-    }
-    if (msg.sender == self_) {
-      clear_outstanding_echo(*gs, msg.origin_counter, now);
-    }
-  }
+  // Stream dedup, receive-vector advance and discipline-specific
+  // attribution live in the ordering plane. kStale is a pure duplicate;
+  // kEchoDup still advances clocks and stability below but carries no new
+  // content. Note the plane may re-enter pump_sends (an echo clearing the
+  // blocking rule); group nodes are stable and erasures deferred, so `gs`
+  // stays valid.
+  const OrderingPlane::Accept verdict = gs->plane->accept(*gs, msg, now);
+  if (verdict == OrderingPlane::Accept::kStale) return;
+  const bool duplicate_echo = verdict == OrderingPlane::Accept::kEchoDup;
 
   // Stability (§5.1): m.ldn is the emitter's D at transmission.
   Counter& sv = gs->sv[msg.emitter];
@@ -536,17 +489,12 @@ bool Endpoint::send_eligible(const GroupState& gs) const {
   // while a unicast in a *different* group still awaits its sequencer.
   for (const auto& [other_id, other] : groups_) {
     if (other_id == gs.id || other.defunct) continue;
-    if (!other.outstanding.empty()) return false;
+    if (other.plane->blocks_other_groups()) return false;
   }
   // Flow control (§7): bound own unstable messages per group.
-  if (cfg_.flow_window > 0) {
-    if (gs.opts.mode == OrderMode::kAsymmetric) {
-      if (gs.outstanding.size() >= cfg_.flow_window) return false;
-    } else {
-      auto it = gs.retained.find(self_);
-      if (it != gs.retained.end() && it->second.size() >= cfg_.flow_window)
-        return false;
-    }
+  if (cfg_.flow_window > 0 &&
+      gs.plane->own_unstable(gs) >= cfg_.flow_window) {
+    return false;
   }
   return true;
 }
@@ -563,8 +511,10 @@ void Endpoint::pump_sends(Time now) {
       // Distinguish the two stall causes for the stats.
       bool outstanding_elsewhere = false;
       for (const auto& [oid, other] : groups_) {
-        if (oid != gs->id && !other.defunct && !other.outstanding.empty())
+        if (oid != gs->id && !other.defunct &&
+            other.plane->blocks_other_groups()) {
           outstanding_elsewhere = true;
+        }
       }
       if (outstanding_elsewhere)
         ++stats_.sends_blocked;
@@ -574,11 +524,7 @@ void Endpoint::pump_sends(Time now) {
     }
     util::Bytes payload = std::move(head.payload);
     pending_sends_.pop_front();
-    if (gs->opts.mode == OrderMode::kAsymmetric) {
-      emit_fwd(*gs, std::move(payload), now);
-    } else {
-      emit_ordered(*gs, MsgType::kApp, std::move(payload), now);
-    }
+    gs->plane->submit_app(*gs, std::move(payload), now);
   }
 }
 
@@ -593,40 +539,6 @@ void Endpoint::advance_stability(GroupState& gs) {
   if (floor == 0 || floor == kCounterMax) return;
   for (auto& [emitter, msgs] : gs.retained) {
     msgs.erase(msgs.begin(), msgs.upper_bound(floor));
-  }
-}
-
-void Endpoint::clear_outstanding_echo(GroupState& gs, Counter oc,
-                                      Time now) {
-  for (auto it = gs.outstanding.begin(); it != gs.outstanding.end(); ++it) {
-    if (it->oc == oc) {
-      gs.outstanding.erase(it);
-      break;
-    }
-  }
-  // The send-blocking rules may have been waiting on this echo.
-  pump_sends(now);
-}
-
-void Endpoint::resubmit_outstanding(GroupState& gs, Time now) {
-  // After a view change replaced the sequencer, re-submit every forward
-  // that was never echoed; the (origin, origin_counter) dedup at the new
-  // sequencer and at receivers makes this idempotent.
-  if (gs.outstanding.empty()) return;
-  std::vector<OutstandingFwd> copy(gs.outstanding.begin(),
-                                   gs.outstanding.end());
-  const ProcessId seq = sequencer(gs);
-  for (const auto& o : copy) {
-    FwdMsg f;
-    f.group = gs.id;
-    f.origin = self_;
-    f.origin_counter = o.oc;
-    f.payload = o.payload;
-    if (seq == self_) {
-      handle_fwd(gs, f, now);
-    } else {
-      hooks_.send(seq, f.encode());
-    }
   }
 }
 

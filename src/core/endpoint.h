@@ -12,6 +12,12 @@
 // (the discrete-event simulator, the threaded runtime) own time and I/O.
 // This is what makes the adversarial schedules of the paper's Examples 1-3
 // replayable in tests.
+//
+// Layering: the per-group ordering discipline (receive vectors, sequencer
+// forwards/echoes, send eligibility) lives behind the OrderingPlane
+// strategy interface (core/ordering.h); the Endpoint keeps the shared
+// concerns — Lamport clock, global delivery queue, stability, membership
+// agreement and group formation — and dispatches through the interface.
 #pragma once
 
 #include <deque>
@@ -24,6 +30,7 @@
 
 #include "core/config.h"
 #include "core/lamport.h"
+#include "core/ordering.h"
 #include "core/types.h"
 #include "core/wire.h"
 #include "sim/time.h"
@@ -50,9 +57,11 @@ enum class FormationOutcome : std::uint8_t {
 
 // Host-provided callbacks. `send` must provide the paper's transport
 // guarantee: FIFO, uncorrupted delivery to live connected peers (the
-// transport::Router does). Callbacks may re-enter the endpoint's API.
+// transport::Router does). The encoded buffer is shared: one encoding
+// fans out to every peer, and the transport may retain the reference for
+// retransmission. Callbacks may re-enter the endpoint's API.
 struct EndpointHooks {
-  std::function<void(ProcessId to, util::Bytes data)> send;
+  std::function<void(ProcessId to, util::SharedBytes data)> send;
   std::function<void(const Delivery&)> deliver;
   std::function<void(GroupId, const View&)> view_change;
   std::function<void(GroupId, FormationOutcome)> formation_result;
@@ -60,26 +69,7 @@ struct EndpointHooks {
   std::function<bool(const FormInviteMsg&)> accept_invite;
 };
 
-struct EndpointStats {
-  std::uint64_t app_multicasts = 0;
-  std::uint64_t nulls_sent = 0;
-  std::uint64_t deliveries = 0;
-  std::uint64_t duplicates_dropped = 0;
-  std::uint64_t suspects_sent = 0;
-  std::uint64_t refutes_sent = 0;
-  std::uint64_t confirms_sent = 0;
-  std::uint64_t views_installed = 0;
-  std::uint64_t messages_recovered = 0;
-  std::uint64_t messages_discarded = 0;  // failed-sender discards (§5.2 viii)
-  std::uint64_t pending_held = 0;        // messages held under suspicion
-  std::uint64_t self_suspected = 0;      // times we saw a suspicion of self
-  std::uint64_t sends_blocked = 0;       // mixed-mode blocking rule stalls
-  std::uint64_t sends_flow_blocked = 0;  // flow-control stalls
-  std::uint64_t fwds_sent = 0;
-  std::uint64_t echoes_sequenced = 0;    // forwards we sequenced for others
-};
-
-class Endpoint {
+class Endpoint : private PlaneHost {
  public:
   Endpoint(ProcessId self, Config config, EndpointHooks hooks);
 
@@ -121,7 +111,9 @@ class Endpoint {
   // Transport and timer inputs
   // ------------------------------------------------------------------
 
-  // A payload delivered by the reliable FIFO transport from `from`.
+  // A payload delivered by the reliable FIFO transport from `from`. A
+  // BatchFrame payload is unwrapped and each sub-message dispatched as if
+  // it had arrived alone (frames never nest).
   void on_message(ProcessId from, const util::Bytes& data, Time now);
 
   // Drives time-silence (ω), the failure suspector (Ω) and formation
@@ -132,7 +124,7 @@ class Endpoint {
   // Introspection (tests, benchmarks, examples)
   // ------------------------------------------------------------------
 
-  ProcessId self() const { return self_; }
+  ProcessId self() const override { return self_; }
   Counter lc() const { return lc_.value(); }
   bool is_member(GroupId g) const { return groups_.count(g) > 0; }
   const View* view(GroupId g) const;
@@ -193,45 +185,12 @@ class Endpoint {
     std::deque<std::pair<ProcessId, ConfirmMsg>> deferred_confirms;
   };
 
-  struct OutstandingFwd {
-    Counter oc;
-    util::Bytes payload;
-  };
-
-  struct GroupState {
-    GroupId id = 0;
-    GroupOptions opts;
-    View view;
-    bool open = false;  // true once app sends are allowed (step 5 / bootstrap)
-
-    // Ordering state. rv[p] = highest counter received from emitter p
-    // (the Receive Vector of §4.1; in asymmetric groups rv[sequencer] is
-    // the "number of the last received message from the sequencer").
-    std::map<ProcessId, Counter> rv;
-    // Asymmetric: last echo counter attributed to each origin (suspicion
-    // ln space for non-sequencer members) and last origin-counter
-    // accepted per origin (failover dedup).
-    std::map<ProcessId, Counter> attributed;
-    std::map<ProcessId, Counter> oc_seen;
-    // Sequencer role: highest origin-counter forwarded per origin.
-    std::map<ProcessId, Counter> oc_forwarded;
-    // Origin role: unicast forwards not yet echoed back (drives the
-    // send-blocking rules of §4.2/§4.3 and failover re-submission).
-    std::deque<OutstandingFwd> outstanding;
-
-    // Stability (§5.1): sv[p] = latest ldn received from p; messages
-    // numbered <= min(sv) over the view are stable and discarded.
-    std::map<ProcessId, Counter> sv;
-    // Unstable retention: emitter -> counter -> raw encoding, for refute
-    // piggybacking. Nulls are not retained (they carry no content and
-    // rv-recovery is handled by the refuter's claimed_last).
-    std::map<ProcessId, std::map<Counter, util::Bytes>> retained;
-
-    // Liveness bookkeeping.
-    Time last_sent = 0;                       // ordered-plane, for ω
-    std::map<ProcessId, Time> last_activity;  // any traffic, for Ω
-    std::set<ProcessId> left;                 // announced voluntary Leave
-
+  // Shared per-group state (GroupCtx, visible to the ordering plane) plus
+  // the engine-private services: membership agreement, formation and the
+  // plane instance itself. Ordering-discipline state (receive vector,
+  // sequencer dedup, outstanding forwards) lives inside `plane`.
+  struct GroupState : GroupCtx {
+    std::unique_ptr<OrderingPlane> plane;
     GvState gv;
     std::optional<Installing> installing;
     std::unique_ptr<FormationState> forming;
@@ -277,15 +236,27 @@ class Endpoint {
   };
   void flush_erasures();
 
-  // ---- Ordering plane (endpoint.cpp) ----------------------------------
+  // ---- PlaneHost (services the ordering planes call back into) --------
+  EndpointStats& mutable_stats() override { return stats_; }
+  Counter clock_stamp() override { return lc_.stamp_send(); }
+  void clock_observe(Counter c) override { lc_.observe(c); }
+  Counter ldn(const GroupCtx& g) const override;
+  void unicast(ProcessId to, util::SharedBytes raw) override;
+  void fan_out(const GroupCtx& g, const util::SharedBytes& raw) override;
+  void loop_back(const OrderedMsg& m, Time now) override;
+  void multicast_self(GroupCtx& g, MsgType type, util::Bytes payload,
+                      Time now) override;
+  void sends_unblocked(Time now) override;
+
+  // ---- Shared engine (endpoint.cpp) -----------------------------------
   GroupState* find_group(GroupId g);
   const GroupState* find_group(GroupId g) const;
   Counter group_d(const GroupState& gs) const;
   bool counts_for_global_d(const GroupState& gs) const;
+  void dispatch_message(ProcessId from, const util::Bytes& data, Time now,
+                        bool allow_batch);
   void emit_ordered(GroupState& gs, MsgType type, util::Bytes payload,
                     Time now);
-  void emit_fwd(GroupState& gs, util::Bytes payload, Time now);
-  void handle_fwd(GroupState& gs, const FwdMsg& fwd, Time now);
   void process_ordered(ProcessId link_from, const OrderedMsg& msg, Time now,
                        bool via_recovery);
   void pump_deliveries();
@@ -293,10 +264,6 @@ class Endpoint {
   bool send_eligible(const GroupState& gs) const;
   void deliver_app(const GroupState& gs, const OrderedMsg& msg);
   void advance_stability(GroupState& gs);
-  void clear_outstanding_echo(GroupState& gs, Counter oc, Time now);
-  void resubmit_outstanding(GroupState& gs, Time now);
-  void send_to_others(const GroupState& gs, const util::Bytes& raw);
-  ProcessId sequencer(const GroupState& gs) const;
 
   // ---- Membership service (endpoint_membership.cpp) -------------------
   void tick_suspector(GroupState& gs, Time now);
@@ -313,13 +280,11 @@ class Endpoint {
   void begin_barrier(GroupState& gs, Time now);
   void try_complete_barrier(GroupState& gs, Time now);
   void install_view(GroupState& gs, Time now);
-  void mcast_control(const GroupState& gs, const util::Bytes& raw);
   std::vector<util::Bytes> recovery_payload(const GroupState& gs,
                                             ProcessId suspect,
                                             Counter above) const;
   bool has_suspicion_on(const GroupState& gs, ProcessId p) const;
   bool in_pending_wave(const GroupState& gs, ProcessId p) const;
-  void raise_stream_floor(GroupState& gs, ProcessId p, Counter to);
 
   // ---- Group formation (endpoint_formation.cpp) -----------------------
   void handle_form_invite(ProcessId from, const FormInviteMsg& msg,

@@ -41,6 +41,7 @@ void Endpoint::initiate_group(GroupId g, std::vector<ProcessId> members,
   GroupState& gs = it->second;
   gs.id = g;
   gs.opts = options;
+  gs.plane = make_ordering_plane(options.mode, *this);
   gs.open = false;
   gs.forming = std::make_unique<FormationState>();
   gs.forming->started_at = now;
@@ -51,7 +52,7 @@ void Endpoint::initiate_group(GroupId g, std::vector<ProcessId> members,
 
   // Step 1: invite every intended member. The initiator's own yes is
   // withheld until the others have all said yes (step 3).
-  const util::Bytes raw = gs.forming->invite.encode();
+  const util::SharedBytes raw = util::share(gs.forming->invite.encode());
   for (ProcessId p : members) {
     if (p != self_) hooks_.send(p, raw);
   }
@@ -82,6 +83,7 @@ void Endpoint::handle_form_invite(ProcessId from, const FormInviteMsg& msg,
   GroupState& gs = it->second;
   gs.id = msg.group;
   gs.opts = msg.options;
+  gs.plane = make_ordering_plane(msg.options.mode, *this);
   gs.open = false;
   gs.forming = std::make_unique<FormationState>();
   gs.forming->started_at = now;
@@ -95,7 +97,7 @@ void Endpoint::handle_form_invite(ProcessId from, const FormInviteMsg& msg,
   reply.group = msg.group;
   reply.voter = self_;
   reply.yes = yes;
-  const util::Bytes raw = reply.encode();
+  const util::SharedBytes raw = util::share(reply.encode());
   for (ProcessId p : gs.forming->invite.members) {
     if (p != self_) hooks_.send(p, raw);
   }
@@ -156,7 +158,6 @@ void Endpoint::maybe_activate_formation(GroupState& gs, Time now) {
   gs.view.members = f.invite.members;
   gs.last_sent = now;
   for (ProcessId p : gs.view.members) {
-    gs.rv[p] = 0;
     if (p != self_) gs.last_activity[p] = now;
   }
   // "The first message Pk sends in the new group is a special message
@@ -178,10 +179,7 @@ void Endpoint::handle_start_group(GroupState& gs, const OrderedMsg& msg,
   // start-group message with start-number larger than Dn,k".
   f.start_max = std::max(f.start_max, msg.counter);
   if (msg.sender != self_) gs.last_activity[msg.sender] = now;
-  if (f.activated) {
-    Counter& last = gs.rv[msg.sender];
-    last = std::max(last, msg.counter);
-  }
+  if (f.activated) gs.plane->raise_rv(msg.sender, msg.counter);
   maybe_complete_formation(gs, now);
 }
 
@@ -194,10 +192,7 @@ void Endpoint::maybe_complete_formation(GroupState& gs, Time now) {
     if (f.start_seen.count(p) == 0) return;
   }
   const Counter start_max = f.start_max;
-  for (ProcessId p : gs.view.members) {
-    Counter& last = gs.rv[p];
-    last = std::max(last, start_max);
-  }
+  for (ProcessId p : gs.view.members) gs.plane->raise_rv(p, start_max);
   lc_.raise_to(start_max);
   gs.forming.reset();
   gs.open = true;
@@ -240,7 +235,7 @@ void Endpoint::tick_formation(GroupState& gs, Time now) {
     if (all_others_yes) {
       // Step 3: cast our own yes, diffused like the others'.
       reply.yes = true;
-      const util::Bytes raw = reply.encode();
+      const util::SharedBytes raw = util::share(reply.encode());
       for (ProcessId p : f.invite.members) {
         if (p != self_) hooks_.send(p, raw);
       }
@@ -250,7 +245,7 @@ void Endpoint::tick_formation(GroupState& gs, Time now) {
     }
     if (now - f.started_at >= cfg_.formation_timeout) {
       reply.yes = false;  // veto: some member never answered
-      const util::Bytes raw = reply.encode();
+      const util::SharedBytes raw = util::share(reply.encode());
       for (ProcessId p : f.invite.members) {
         if (p != self_) hooks_.send(p, raw);
       }

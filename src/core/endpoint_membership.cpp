@@ -15,6 +15,10 @@
 //    were nulls (not retained) can still advance its receive vector: every
 //    *content* message in the gap is either piggybacked or already stable
 //    (stable = received by all current-view members, §5.1).
+//  - Which counter space a suspicion lives in, and whose retained stream
+//    proves liveness, are ordering-discipline questions — answered by the
+//    group's OrderingPlane (ln_of / raise_stream_floor / recovery_emitter
+//    / streams_passed), not by mode branches here.
 #include <algorithm>
 
 #include "core/endpoint.h"
@@ -22,12 +26,6 @@
 #include "util/logging.h"
 
 namespace newtop {
-
-void Endpoint::mcast_control(const GroupState& gs, const util::Bytes& raw) {
-  for (ProcessId p : gs.view.members) {
-    if (p != self_) hooks_.send(p, raw);
-  }
-}
 
 bool Endpoint::has_suspicion_on(const GroupState& gs, ProcessId p) const {
   for (const auto& s : gs.gv.suspicions) {
@@ -50,31 +48,7 @@ bool Endpoint::in_pending_wave(const GroupState& gs, ProcessId p) const {
 }
 
 Counter Endpoint::ln_of(const GroupState& gs, ProcessId p) const {
-  // The counter space in which suspicions about p are expressed: p's own
-  // emission stream, except for non-sequencer members of asymmetric
-  // groups, whose ordered messages reach the group as sequencer echoes —
-  // there the last *attributed* echo counter is used, which is identical
-  // at every member and therefore convergeable.
-  if (gs.opts.mode == OrderMode::kAsymmetric && p != sequencer(gs)) {
-    auto it = gs.attributed.find(p);
-    return it != gs.attributed.end() ? it->second : 0;
-  }
-  auto it = gs.rv.find(p);
-  return it != gs.rv.end() ? it->second : 0;
-}
-
-void Endpoint::raise_stream_floor(GroupState& gs, ProcessId p, Counter to) {
-  // Accepts another member's claim that p's stream reached `to`. Safe for
-  // the delivery stream because every content message below `to` that we
-  // are missing is piggybacked alongside the claim or stable (see header
-  // comment); the remaining gap is nulls.
-  if (gs.opts.mode == OrderMode::kAsymmetric && p != sequencer(gs)) {
-    Counter& a = gs.attributed[p];
-    a = std::max(a, to);
-    return;
-  }
-  Counter& last = gs.rv[p];
-  last = std::max(last, to);
+  return gs.plane->ln_of(gs, p);
 }
 
 // ---------------------------------------------------------------------
@@ -83,8 +57,12 @@ void Endpoint::raise_stream_floor(GroupState& gs, ProcessId p, Counter to) {
 
 void Endpoint::tick_suspector(GroupState& gs, Time now) {
   if (gs.view.members.size() <= 1) return;
-  for (ProcessId p : gs.view.members) {
+  // Snapshot: add_suspicion can cascade all the way to install_view,
+  // which replaces gs.view.members mid-iteration.
+  const std::vector<ProcessId> members = gs.view.members;
+  for (ProcessId p : members) {
     if (p == self_ || gs.left.count(p) > 0) continue;
+    if (!gs.view.contains(p)) continue;  // excluded by an earlier suspicion
     if (has_suspicion_on(gs, p) || in_pending_wave(gs, p)) continue;
     auto it = gs.last_activity.find(p);
     if (it == gs.last_activity.end()) {
@@ -114,7 +92,7 @@ void Endpoint::add_suspicion(GroupState& gs, Suspicion s, Time now) {
   SuspectMsg m;
   m.group = gs.id;
   m.suspicion = s;
-  mcast_control(gs, m.encode());  // step (i)
+  fan_out(gs, util::share(m.encode()));  // step (i)
   check_consensus(gs, now);
 }
 
@@ -160,20 +138,16 @@ void Endpoint::refute(GroupState& gs, Suspicion s, Time now) {
   r.suspicion = s;
   r.claimed_last = ln_of(gs, s.process);
   r.recovered = recovery_payload(gs, s.process, s.ln);
-  mcast_control(gs, r.encode());
+  fan_out(gs, util::share(r.encode()));
 }
 
 std::vector<util::Bytes> Endpoint::recovery_payload(const GroupState& gs,
                                                     ProcessId suspect,
                                                     Counter above) const {
-  // Symmetric groups: the suspector misses messages emitted by the
-  // suspect. Asymmetric groups: ordered traffic is the sequencer's echo
-  // stream, so recovery supplies retained sequencer emissions above `ln`
-  // (a superset of the suspect-attributed gap; duplicates are cheap, a
-  // hole is not).
-  const ProcessId emitter = gs.opts.mode == OrderMode::kAsymmetric
-                                ? sequencer(gs)
-                                : suspect;
+  // Whose retained stream carries the suspect's ordered traffic is a
+  // discipline question: the suspect's own stream in symmetric groups,
+  // the sequencer's echo stream in asymmetric ones.
+  const ProcessId emitter = gs.plane->recovery_emitter(gs, suspect);
   std::vector<util::Bytes> out;
   auto it = gs.retained.find(emitter);
   if (it == gs.retained.end()) return out;
@@ -204,7 +178,7 @@ void Endpoint::handle_refute(ProcessId from, const RefuteMsg& msg,
     gs = find_group(msg.group);
     if (gs == nullptr) return;
   }
-  raise_stream_floor(*gs, s.process, msg.claimed_last);
+  gs->plane->raise_stream_floor(*gs, s.process, msg.claimed_last);
 
   if (gs->gv.suspicions.count(s) > 0) {
     resolve_refuted(*gs, s, now);
@@ -260,7 +234,7 @@ void Endpoint::check_consensus(GroupState& gs, Time now) {
   ConfirmMsg c;
   c.group = gs.id;
   c.detection = detection;
-  mcast_control(gs, c.encode());
+  fan_out(gs, util::share(c.encode()));
   adopt_wave(gs, std::move(detection), now);
 }
 
@@ -317,13 +291,13 @@ void Endpoint::handle_confirm(ProcessId from, const ConfirmMsg& msg,
     }
     // Ensure our stream bookkeeping can reach the barrier even if we
     // never endorsed this ln (see raise_stream_floor contract).
-    raise_stream_floor(*gs, d.process, d.ln);
+    gs->plane->raise_stream_floor(*gs, d.process, d.ln);
   }
   ++stats_.confirms_sent;
   ConfirmMsg rebroadcast;
   rebroadcast.group = gs->id;
   rebroadcast.detection = relevant;
-  mcast_control(*gs, rebroadcast.encode());
+  fan_out(*gs, util::share(rebroadcast.encode()));
   adopt_wave(*gs, std::move(relevant), now);
 }
 
@@ -395,17 +369,9 @@ void Endpoint::try_complete_barrier(GroupState& gs, Time now) {
   if (!gs.installing) return;
   const Counter lnmn = gs.installing->lnmn;
   // update_view(F, N) waits "until Pi is delivered the last m, m.c <= N".
-  // No further m <= lnmn can arrive once every relevant stream has passed
-  // lnmn (FIFO channels, increasing counters)...
-  if (gs.opts.mode == OrderMode::kAsymmetric) {
-    auto it = gs.rv.find(sequencer(gs));
-    if (it == gs.rv.end() || it->second < lnmn) return;
-  } else {
-    for (ProcessId p : gs.view.members) {
-      auto it = gs.rv.find(p);
-      if (it == gs.rv.end() || it->second < lnmn) return;
-    }
-  }
+  // No further m <= lnmn can arrive once every stream gating delivery has
+  // passed lnmn (FIFO channels, increasing counters)...
+  if (!gs.plane->streams_passed(gs, lnmn)) return;
   // ...and everything received with m.c <= lnmn has been delivered.
   for (const auto& [key, m] : queue_) {
     if (key.counter > lnmn) break;  // queue is counter-ordered
@@ -426,7 +392,7 @@ void Endpoint::install_view(GroupState& gs, Time now) {
       survivors.push_back(p);
     }
   }
-  const ProcessId old_sequencer = sequencer(gs);
+  const ProcessId old_sequencer = newtop::sequencer_of(gs.view);
   gs.view.members = std::move(survivors);
   gs.view.seq += 1;
   gs.excluded_count += static_cast<std::uint32_t>(failed.size());
@@ -434,11 +400,8 @@ void Endpoint::install_view(GroupState& gs, Time now) {
 
   for (ProcessId p : failed) {
     // "RV[k] := ∞; SV[k] := ∞" — drop the entries from the minima.
-    gs.rv.erase(p);
+    gs.plane->forget_member(p);
     gs.sv.erase(p);
-    gs.attributed.erase(p);
-    gs.oc_seen.erase(p);
-    gs.oc_forwarded.erase(p);
     gs.last_activity.erase(p);
     gs.left.erase(p);
     gs.retained.erase(p);
@@ -458,16 +421,12 @@ void Endpoint::install_view(GroupState& gs, Time now) {
   }
 
   if (hooks_.view_change) hooks_.view_change(gs.id, gs.view);
-  GroupState* self_check = find_group(gs.id);
-  if (self_check == nullptr) return;  // callback left the group
+  if (find_group(gs.id) == nullptr) return;  // callback left the group
 
-  // Sequencer failover (§4.2 extension, see DESIGN.md): re-submit
-  // un-echoed forwards to the new sequencer.
-  if (gs.opts.mode == OrderMode::kAsymmetric &&
-      sequencer(gs) != old_sequencer) {
-    resubmit_outstanding(gs, now);
-    if (find_group(gs.id) == nullptr) return;
-  }
+  // Discipline follow-up — asymmetric sequencer failover re-submits
+  // un-echoed forwards to the new sequencer (§4.2 extension).
+  gs.plane->on_view_installed(gs, old_sequencer, now);
+  if (find_group(gs.id) == nullptr) return;
 
   pump_deliveries();  // D may have jumped over the removed minima
   if (find_group(gs.id) == nullptr) return;

@@ -1,0 +1,58 @@
+// OrderingPlane base behaviour: the defaults shared by disciplines whose
+// suspicion space, recovery stream and time-silence policy coincide with
+// the plain per-process stream model, plus the mode factory.
+#include "core/ordering.h"
+
+namespace newtop {
+
+void OrderingPlane::handle_fwd(GroupCtx& g, const FwdMsg& f, Time now) {
+  // A sequencer forward is meaningless outside the asymmetric discipline;
+  // a stale or hostile peer sent it. Drop.
+  (void)g;
+  (void)f;
+  (void)now;
+}
+
+bool OrderingPlane::runs_time_silence(const GroupCtx& g) const {
+  (void)g;
+  return true;
+}
+
+Counter OrderingPlane::ln_of(const GroupCtx& g, ProcessId p) const {
+  (void)g;
+  return rv(p);
+}
+
+void OrderingPlane::raise_stream_floor(GroupCtx& g, ProcessId p,
+                                       Counter to) {
+  (void)g;
+  raise_rv(p, to);
+}
+
+ProcessId OrderingPlane::recovery_emitter(const GroupCtx& g,
+                                          ProcessId suspect) const {
+  (void)g;
+  return suspect;
+}
+
+void OrderingPlane::forget_member(ProcessId p) { rv_.erase(p); }
+
+void OrderingPlane::on_view_installed(GroupCtx& g, ProcessId old_sequencer,
+                                      Time now) {
+  (void)g;
+  (void)old_sequencer;
+  (void)now;
+}
+
+std::unique_ptr<OrderingPlane> make_ordering_plane(OrderMode mode,
+                                                   PlaneHost& host) {
+  switch (mode) {
+    case OrderMode::kSymmetric:
+      return make_symmetric_plane(host);
+    case OrderMode::kAsymmetric:
+      return make_asymmetric_plane(host);
+  }
+  return make_symmetric_plane(host);  // unreachable for valid modes
+}
+
+}  // namespace newtop

@@ -1,0 +1,215 @@
+// The asymmetric ordering discipline (§4.2): application multicasts are
+// unicast to a deterministic sequencer, which stamps and multicasts them
+// as echoes; only the sequencer's stream gates delivery. This plane owns
+// both roles — the origin side (outstanding forwards, failover
+// re-submission, the blocking rule's trigger) and the sequencer side
+// (origin-counter dedup, echo sequencing).
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace newtop {
+
+namespace {
+
+class AsymmetricPlane final : public OrderingPlane {
+ public:
+  using OrderingPlane::OrderingPlane;
+
+  void submit_app(GroupCtx& g, util::Bytes payload, Time now) override {
+    // §4.2: unicast to the sequencer; the unicast updates the logical
+    // clock exactly as a multicast does.
+    const Counter oc = host_.clock_stamp();
+    outstanding_.push_back(OutstandingFwd{oc, payload});
+    ++host_.mutable_stats().fwds_sent;
+    ++host_.mutable_stats().app_multicasts;
+    FwdMsg f;
+    f.group = g.id;
+    f.origin = host_.self();
+    f.origin_counter = oc;
+    f.payload = std::move(payload);
+    const ProcessId seq = sequencer_of(g.view);
+    if (seq == host_.self()) {
+      // "A process that also happens to be the sequencer will logically
+      // follow the same procedure, unicasting to itself."
+      handle_fwd(g, f, now);
+    } else {
+      host_.unicast(seq, util::share(f.encode()));
+    }
+  }
+
+  void handle_fwd(GroupCtx& g, const FwdMsg& fwd, Time now) override {
+    if (!g.open) return;
+    if (!g.view.contains(fwd.origin) || g.left.count(fwd.origin) > 0) return;
+    if (sequencer_of(g.view) != host_.self()) return;  // stale view; origin
+                                                       // resubmits
+    host_.clock_observe(fwd.origin_counter);  // CA2 for the unicast receive
+    const auto fit = oc_forwarded_.find(fwd.origin);
+    const auto sit = oc_seen_.find(fwd.origin);
+    const Counter forwarded = fit != oc_forwarded_.end() ? fit->second : 0;
+    const Counter echoed = sit != oc_seen_.end() ? sit->second : 0;
+    const Counter seen = std::max(forwarded, echoed);
+    if (fwd.origin_counter <= seen) return;  // failover re-submission dup
+    oc_forwarded_[fwd.origin] = fwd.origin_counter;
+    if (fwd.origin != host_.self()) {
+      g.last_activity[fwd.origin] = now;
+      ++host_.mutable_stats().echoes_sequenced;
+    }
+    const Counter c = host_.clock_stamp();  // CA1 for the echo multicast
+    OrderedMsg echo;
+    echo.type = MsgType::kApp;
+    echo.group = g.id;
+    echo.sender = fwd.origin;
+    echo.emitter = host_.self();
+    echo.counter = c;
+    echo.origin_counter = fwd.origin_counter;
+    echo.ldn = host_.ldn(g);
+    echo.payload = fwd.payload;
+    g.last_sent = now;
+    host_.fan_out(g, util::share(echo.encode()));
+    host_.loop_back(echo, now);
+  }
+
+  Accept accept(GroupCtx& g, const OrderedMsg& m, Time now) override {
+    if (!advance_stream(m.emitter, m.counter)) {
+      ++host_.mutable_stats().duplicates_dropped;
+      return Accept::kStale;
+    }
+    if (m.type != MsgType::kApp) return Accept::kFresh;
+    // Failover dedup: an echo re-sequenced by a new sequencer after the
+    // origin re-submitted carries the same origin counter.
+    bool duplicate_echo = false;
+    Counter& oc_seen = oc_seen_[m.sender];
+    if (m.origin_counter <= oc_seen) {
+      duplicate_echo = true;
+      ++host_.mutable_stats().duplicates_dropped;
+    } else {
+      oc_seen = m.origin_counter;
+      attributed_[m.sender] = m.counter;
+    }
+    if (m.sender == host_.self()) {
+      clear_outstanding_echo(m.origin_counter, now);
+    }
+    return duplicate_echo ? Accept::kEchoDup : Accept::kFresh;
+  }
+
+  Counter group_d(const GroupCtx& g) const override {
+    // "the number of the last received message from the sequencer".
+    return rv(sequencer_of(g.view));
+  }
+
+  bool streams_passed(const GroupCtx& g, Counter n) const override {
+    return rv(sequencer_of(g.view)) >= n;
+  }
+
+  bool blocks_other_groups() const override { return !outstanding_.empty(); }
+
+  std::size_t own_unstable(const GroupCtx& g) const override {
+    (void)g;
+    return outstanding_.size();
+  }
+
+  bool runs_time_silence(const GroupCtx& g) const override {
+    // In a failure-free asymmetric group only the sequencer's stream
+    // gates delivery, so only it needs time-silence (§4.2). The
+    // fault-tolerant protocol needs everyone lively for Ω.
+    return !(g.opts.failure_free && sequencer_of(g.view) != host_.self());
+  }
+
+  Counter ln_of(const GroupCtx& g, ProcessId p) const override {
+    // Non-sequencer members' ordered messages reach the group as
+    // sequencer echoes — suspicions about them are expressed in the last
+    // *attributed* echo counter, identical at every member and therefore
+    // convergeable.
+    if (p != sequencer_of(g.view)) {
+      auto it = attributed_.find(p);
+      return it != attributed_.end() ? it->second : 0;
+    }
+    return rv(p);
+  }
+
+  void raise_stream_floor(GroupCtx& g, ProcessId p, Counter to) override {
+    if (p != sequencer_of(g.view)) {
+      Counter& a = attributed_[p];
+      a = std::max(a, to);
+      return;
+    }
+    raise_rv(p, to);
+  }
+
+  ProcessId recovery_emitter(const GroupCtx& g,
+                             ProcessId suspect) const override {
+    // Ordered traffic is the sequencer's echo stream, so recovery
+    // supplies retained sequencer emissions (a superset of the
+    // suspect-attributed gap; duplicates are cheap, a hole is not).
+    (void)suspect;
+    return sequencer_of(g.view);
+  }
+
+  void forget_member(ProcessId p) override {
+    rv_.erase(p);
+    attributed_.erase(p);
+    oc_seen_.erase(p);
+    oc_forwarded_.erase(p);
+  }
+
+  void on_view_installed(GroupCtx& g, ProcessId old_sequencer,
+                         Time now) override {
+    // Sequencer failover: re-submit every forward that was never echoed;
+    // the (origin, origin_counter) dedup at the new sequencer and at
+    // receivers makes this idempotent.
+    const ProcessId seq = sequencer_of(g.view);
+    if (seq == old_sequencer || outstanding_.empty()) return;
+    const std::vector<OutstandingFwd> copy(outstanding_.begin(),
+                                           outstanding_.end());
+    for (const auto& o : copy) {
+      FwdMsg f;
+      f.group = g.id;
+      f.origin = host_.self();
+      f.origin_counter = o.oc;
+      f.payload = o.payload;
+      if (seq == host_.self()) {
+        handle_fwd(g, f, now);
+      } else {
+        host_.unicast(seq, util::share(f.encode()));
+      }
+    }
+  }
+
+ private:
+  struct OutstandingFwd {
+    Counter oc;
+    util::Bytes payload;
+  };
+
+  void clear_outstanding_echo(Counter oc, Time now) {
+    for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+      if (it->oc == oc) {
+        outstanding_.erase(it);
+        break;
+      }
+    }
+    // The send-blocking rules may have been waiting on this echo.
+    host_.sends_unblocked(now);
+  }
+
+  // Sequencer role: highest origin-counter forwarded per origin.
+  std::map<ProcessId, Counter> oc_forwarded_;
+  // Last origin-counter accepted per origin (failover dedup) and last
+  // echo counter attributed to each origin (suspicion ln space).
+  std::map<ProcessId, Counter> oc_seen_;
+  std::map<ProcessId, Counter> attributed_;
+  // Origin role: unicast forwards not yet echoed back (drives the
+  // send-blocking rules of §4.2/§4.3 and failover re-submission).
+  std::deque<OutstandingFwd> outstanding_;
+};
+
+}  // namespace
+
+std::unique_ptr<OrderingPlane> make_asymmetric_plane(PlaneHost& host) {
+  return std::make_unique<AsymmetricPlane>(host);
+}
+
+}  // namespace newtop

@@ -43,9 +43,10 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
       });
 
   EndpointHooks hooks;
-  hooks.send = [this](ProcessId to, util::Bytes data) {
+  hooks.send = [this](ProcessId to, util::SharedBytes data) {
     if (crashed_) return;
-    router_->send(to, std::move(data), sim_.now());
+    router_->send_buffered(to, std::move(data), sim_.now());
+    schedule_flush();
   };
   hooks.deliver = [this](const Delivery& d) {
     deliveries.push_back(DeliveryRecord{sim_.now(), d});
@@ -64,6 +65,19 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
 void SimProcess::on_datagram(sim::NodeId from, const util::Bytes& data) {
   if (crashed_) return;
   router_->on_datagram(from, data, sim_.now());
+}
+
+void SimProcess::schedule_flush() {
+  if (flush_pending_) return;
+  flush_pending_ = true;
+  // Zero delay: the event runs after the current event (and anything the
+  // test driver does between events) completes, at the same virtual time —
+  // batching without adding latency.
+  sim_.schedule_after(0, [this] {
+    flush_pending_ = false;
+    if (crashed_) return;
+    router_->flush_batches(sim_.now());
+  });
 }
 
 void SimProcess::schedule_tick() {

@@ -67,7 +67,11 @@ class SimProcess {
   // Crash after the next `n` datagram transmissions — the paper's "a
   // multicast made by a process can be interrupted due to the crash of
   // that process" (§2). With n smaller than the group fan-out, only a
-  // prefix of the destinations receives the multicast.
+  // prefix of the destinations receives the multicast. A single
+  // multicast still costs one datagram per peer under transport
+  // batching, so per-destination slicing is unaffected; but several
+  // messages emitted to the same peer in one causal step share a
+  // BatchFrame and are lost or delivered together.
   void crash_after_sends(std::uint64_t n) { sends_until_crash_ = n; }
 
   // Observation logs.
@@ -81,6 +85,11 @@ class SimProcess {
  private:
   void on_datagram(sim::NodeId from, const util::Bytes& data);
   void schedule_tick();
+  // Flush-on-idle: endpoint sends are buffered in the router and flushed
+  // by a zero-delay event once the current input has been fully processed,
+  // so everything a process emits in one causal step to the same peer
+  // rides one BatchFrame datagram.
+  void schedule_flush();
 
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -88,6 +97,7 @@ class SimProcess {
   sim::NodeId node_;
   sim::Duration tick_interval_;
   bool crashed_ = false;
+  bool flush_pending_ = false;
   std::optional<std::uint64_t> sends_until_crash_;
   std::unique_ptr<transport::Router> router_;
   std::unique_ptr<Endpoint> endpoint_;

@@ -185,6 +185,44 @@ std::optional<FormReplyMsg> FormReplyMsg::decode(const util::Bytes& data) {
   return m;
 }
 
+util::Bytes BatchFrame::encode() const {
+  util::Writer w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(payloads.size());
+  for (const auto& p : payloads) w.bytes(p);
+  return std::move(w).take();
+}
+
+util::Bytes BatchFrame::encode_shared(
+    const std::vector<util::SharedBytes>& payloads) {
+  std::size_t total = 16;
+  for (const auto& p : payloads) total += p->size() + 4;
+  util::Writer w(total);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(payloads.size());
+  for (const auto& p : payloads) w.bytes(*p);
+  return std::move(w).take();
+}
+
+std::optional<BatchFrame> BatchFrame::decode(const util::Bytes& data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kBatch) return std::nullopt;
+  const std::uint64_t n = r.varint();
+  if (n > kMaxPayloads) return std::nullopt;
+  BatchFrame b;
+  b.payloads.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Bytes p = r.bytes();
+    // A nested batch would allow unbounded amplification; reject the
+    // whole frame rather than dispatch it.
+    if (!p.empty() && static_cast<MsgType>(p[0]) == MsgType::kBatch)
+      return std::nullopt;
+    b.payloads.push_back(std::move(p));
+  }
+  if (!r.at_end()) return std::nullopt;
+  return b;
+}
+
 std::optional<MsgType> peek_type(const util::Bytes& data) {
   if (data.empty()) return std::nullopt;
   const auto t = static_cast<MsgType>(data[0]);
@@ -194,6 +232,7 @@ std::optional<MsgType> peek_type(const util::Bytes& data) {
     case MsgType::kLeave:
     case MsgType::kFwd:
     case MsgType::kStartGroup:
+    case MsgType::kBatch:
     case MsgType::kSuspect:
     case MsgType::kRefute:
     case MsgType::kConfirm:

@@ -31,6 +31,8 @@ enum class MsgType : std::uint8_t {
   kLeave = 3,      // voluntary departure announcement (§5)
   kFwd = 4,        // asymmetric mode: origin -> sequencer unicast (§4.2)
   kStartGroup = 5, // group formation step 4/5 (§5.3)
+  // Transport container.
+  kBatch = 6,      // several protocol payloads coalesced into one datagram
   // Control plane.
   kSuspect = 16,
   kRefute = 17,
@@ -128,6 +130,25 @@ struct FormReplyMsg {
 
   util::Bytes encode() const;
   static std::optional<FormReplyMsg> decode(const util::Bytes& data);
+};
+
+// A transport container: several encoded protocol messages coalesced into
+// one frame, so one datagram (and one reliable-channel slot) can carry
+// many ordered messages per peer per flush. Batching at the transport
+// boundary is the dominant throughput lever for atomic broadcast; the
+// protocol itself is oblivious — receivers unwrap and dispatch each
+// payload as if it had arrived alone. Frames never nest.
+struct BatchFrame {
+  std::vector<util::Bytes> payloads;
+
+  static constexpr std::size_t kMaxPayloads = 4096;
+
+  util::Bytes encode() const;
+  // Encode-once fan-out path: frames shared payload buffers directly,
+  // without copying them into a BatchFrame first.
+  static util::Bytes encode_shared(
+      const std::vector<util::SharedBytes>& payloads);
+  static std::optional<BatchFrame> decode(const util::Bytes& data);
 };
 
 // Peeks at the type byte without a full decode.

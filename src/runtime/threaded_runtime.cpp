@@ -1,7 +1,10 @@
 #include "runtime/threaded_runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
+#include <map>
+#include <vector>
 
 #include "util/check.h"
 
@@ -24,8 +27,11 @@ class ThreadedRuntime::Worker {
   Worker(ProcessId id, const RuntimeConfig& cfg, ThreadedRuntime& rt)
       : id_(id), cfg_(cfg), rt_(rt) {
     EndpointHooks hooks;
-    hooks.send = [this](ProcessId to, util::Bytes data) {
-      rt_.worker(to).enqueue_message(id_, std::move(data));
+    hooks.send = [this](ProcessId to, util::SharedBytes data) {
+      // Buffered: flushed (batched per destination) once the owner thread
+      // finishes its current mailbox quantum. Only the owner runs the
+      // endpoint, so outbox_ needs no lock.
+      outbox_[to].push_back(std::move(data));
     };
     hooks.deliver = [this](const Delivery& d) {
       std::scoped_lock lock(log_mutex_);
@@ -63,7 +69,7 @@ class ThreadedRuntime::Worker {
     cv_.notify_all();
   }
 
-  void enqueue_message(ProcessId from, util::Bytes data) {
+  void enqueue_message(ProcessId from, util::SharedBytes data) {
     {
       std::scoped_lock lock(mutex_);
       if (stopping_) return;
@@ -109,7 +115,7 @@ class ThreadedRuntime::Worker {
   struct Item {
     enum Kind { kMessage, kCommand } kind;
     ProcessId from;
-    util::Bytes data;
+    util::SharedBytes data;
     std::function<void(Endpoint&, sim::Time)> fn;
   };
 
@@ -128,7 +134,7 @@ class ThreadedRuntime::Worker {
       const sim::Time now = steady_now_us();
       for (auto& item : batch) {
         if (item.kind == Item::kMessage) {
-          endpoint_->on_message(item.from, item.data, now);
+          endpoint_->on_message(item.from, *item.data, now);
         } else {
           item.fn(*endpoint_, now);
         }
@@ -137,6 +143,33 @@ class ThreadedRuntime::Worker {
         endpoint_->on_tick(steady_now_us());
         next_tick = std::chrono::steady_clock::now() + tick;
       }
+      flush_outbox();
+    }
+  }
+
+  // Flush-on-idle: everything the endpoint emitted while this quantum's
+  // inputs were processed goes out now, coalesced per destination into
+  // BatchFrame mailbox items (bounded so a burst cannot exceed the
+  // receiver's decode cap).
+  void flush_outbox() {
+    constexpr std::size_t kMaxPerFrame = 64;
+    for (auto& [to, msgs] : outbox_) {
+      if (msgs.empty()) continue;
+      std::size_t i = 0;
+      while (i < msgs.size()) {
+        const std::size_t n = std::min(kMaxPerFrame, msgs.size() - i);
+        if (n == 1) {
+          rt_.worker(to).enqueue_message(id_, std::move(msgs[i]));
+        } else {
+          const std::vector<util::SharedBytes> chunk(
+              msgs.begin() + static_cast<std::ptrdiff_t>(i),
+              msgs.begin() + static_cast<std::ptrdiff_t>(i + n));
+          rt_.worker(to).enqueue_message(
+              id_, util::share(BatchFrame::encode_shared(chunk)));
+        }
+        i += n;
+      }
+      msgs.clear();
     }
   }
 
@@ -145,6 +178,8 @@ class ThreadedRuntime::Worker {
   ThreadedRuntime& rt_;
   std::unique_ptr<Endpoint> endpoint_;
   std::thread thread_;
+  // Owner-thread-only: per-destination sends buffered within a quantum.
+  std::map<ProcessId, std::vector<util::SharedBytes>> outbox_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -30,6 +30,10 @@ struct ChannelConfig {
   std::size_t window = 64;           // max in-flight unacked packets
   Duration rto = 20 * sim::kMillisecond;  // retransmission timeout
   std::size_t max_reorder = 4096;    // receiver out-of-order buffer cap
+  // Router batching: payloads buffered per peer between flushes are
+  // coalesced into one BatchFrame datagram, at most this many per frame.
+  // <= 1 disables batching (send_buffered degenerates to send).
+  std::size_t max_batch = 16;
 };
 
 struct ChannelStats {
@@ -38,6 +42,8 @@ struct ChannelStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t batches_sent = 0;          // BatchFrames flushed
+  std::uint64_t batched_payloads = 0;      // payloads carried inside them
 };
 
 // Wire framing for channel packets. kData carries a piggybacked cumulative
@@ -50,12 +56,19 @@ class ChannelSender {
   explicit ChannelSender(ChannelConfig config) : config_(config) {}
 
   // Queues payload; returns packets to transmit now (possibly none if the
-  // window is full — they will go out as acks open the window).
-  void send(util::Bytes payload, Time now,
+  // window is full — they will go out as acks open the window). The
+  // payload buffer is shared, not copied: a multicast's encoding is held
+  // once across every peer's retransmission queue.
+  void send(util::SharedBytes payload, Time now,
             std::vector<util::Bytes>& out_packets,
             std::uint64_t piggyback_ack) {
     queue_.push_back(Pending{next_seq_++, std::move(payload), kNotSent});
     pump(now, out_packets, piggyback_ack);
+  }
+  void send(util::Bytes payload, Time now,
+            std::vector<util::Bytes>& out_packets,
+            std::uint64_t piggyback_ack) {
+    send(util::share(std::move(payload)), now, out_packets, piggyback_ack);
   }
 
   // Processes a cumulative ack: everything with seq <= cum_ack is done.
@@ -119,16 +132,16 @@ class ChannelSender {
 
   struct Pending {
     std::uint64_t seq;
-    util::Bytes payload;
+    util::SharedBytes payload;
     Time sent_at;  // kNotSent until first transmission
   };
 
   util::Bytes encode(const Pending& p, std::uint64_t piggyback_ack) const {
-    util::Writer w(p.payload.size() + 16);
+    util::Writer w(p.payload->size() + 16);
     w.u8(static_cast<std::uint8_t>(PacketKind::kData));
     w.varint(p.seq);
     w.varint(piggyback_ack);
-    w.bytes(p.payload);
+    w.bytes(*p.payload);
     return std::move(w).take();
   }
 

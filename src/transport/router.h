@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "core/wire.h"  // BatchFrame: the batched-transmit container
 #include "transport/fifo_channel.h"
 #include "util/codec.h"
 #include "util/logging.h"
@@ -42,17 +43,45 @@ class Router {
 
   // Reliable, FIFO-ordered send. Local sends short-circuit the network:
   // a process's messages to itself are delivered immediately and in order.
-  void send(PeerId to, util::Bytes payload, Time now) {
+  // Flushes any payloads buffered for the peer first, so mixing send()
+  // and send_buffered() cannot reorder the per-peer stream.
+  void send(PeerId to, util::SharedBytes payload, Time now) {
     if (to == self_) {
-      deliver_(self_, std::move(payload));
+      deliver_(self_, *payload);
       return;
     }
     auto& peer = peers(to);
-    std::vector<util::Bytes> packets;
-    peer.sender.send(std::move(payload), now, packets,
-                     peer.receiver.cum_ack());
-    peer.stats.packets_sent += packets.size();
-    transmit(to, packets);
+    flush_peer(to, peer, now);
+    channel_send(to, peer, std::move(payload), now);
+  }
+  void send(PeerId to, util::Bytes payload, Time now) {
+    send(to, util::share(std::move(payload)), now);
+  }
+
+  // Batched transmit path: queues the payload for `to` without
+  // transmitting. A flush — explicit via flush_batches (hosts call it on
+  // idle, once the current input has been fully processed), or implicit
+  // when max_batch payloads accumulate — coalesces everything pending per
+  // peer into one BatchFrame, so one datagram (and one reliable-channel
+  // slot) carries many protocol messages. FIFO order per peer is
+  // preserved: pending payloads flush in arrival order, ahead of nothing.
+  void send_buffered(PeerId to, util::SharedBytes payload, Time now) {
+    if (to == self_) {
+      deliver_(self_, *payload);
+      return;
+    }
+    auto& peer = peers(to);
+    if (config_.max_batch <= 1) {
+      channel_send(to, peer, std::move(payload), now);
+      return;
+    }
+    peer.pending.push_back(std::move(payload));
+    if (peer.pending.size() >= config_.max_batch) flush_peer(to, peer, now);
+  }
+
+  // Flushes every peer's pending payloads (see send_buffered).
+  void flush_batches(Time now) {
+    for (auto& [peer_id, peer] : peers_) flush_peer(peer_id, peer, now);
   }
 
   void on_datagram(PeerId from, const util::Bytes& datagram, Time now) {
@@ -101,7 +130,7 @@ class Router {
 
   bool idle() const {
     for (const auto& [id, peer] : peers_) {
-      if (!peer.sender.idle()) return false;
+      if (!peer.sender.idle() || !peer.pending.empty()) return false;
     }
     return true;
   }
@@ -114,6 +143,8 @@ class Router {
       total.acks_sent += peer.stats.acks_sent;
       total.duplicates_dropped += peer.stats.duplicates_dropped;
       total.delivered += peer.stats.delivered;
+      total.batches_sent += peer.stats.batches_sent;
+      total.batched_payloads += peer.stats.batched_payloads;
     }
     return total;
   }
@@ -125,7 +156,33 @@ class Router {
     ChannelSender sender;
     ChannelReceiver receiver;
     ChannelStats stats;
+    // Payloads queued by send_buffered since the last flush.
+    std::vector<util::SharedBytes> pending;
   };
+
+  void channel_send(PeerId to, Peer& peer, util::SharedBytes payload,
+                    Time now) {
+    std::vector<util::Bytes> packets;
+    peer.sender.send(std::move(payload), now, packets,
+                     peer.receiver.cum_ack());
+    peer.stats.packets_sent += packets.size();
+    transmit(to, packets);
+  }
+
+  void flush_peer(PeerId to, Peer& peer, Time now) {
+    if (peer.pending.empty()) return;
+    if (peer.pending.size() == 1) {
+      // A lone payload travels unwrapped; framing would only add bytes.
+      channel_send(to, peer, std::move(peer.pending.front()), now);
+    } else {
+      peer.stats.batches_sent += 1;
+      peer.stats.batched_payloads += peer.pending.size();
+      channel_send(to, peer,
+                   util::share(newtop::BatchFrame::encode_shared(peer.pending)),
+                   now);
+    }
+    peer.pending.clear();
+  }
 
   Peer& peers(PeerId id) {
     auto it = peers_.find(id);

@@ -96,7 +96,7 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
       });
 
   EndpointHooks hooks;
-  hooks.send = [this](ProcessId to, util::Bytes data) {
+  hooks.send = [this](ProcessId to, util::SharedBytes data) {
     router_->send(to, std::move(data), now_us());
   };
   hooks.deliver = [this](const Delivery& d) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -16,6 +17,15 @@
 namespace newtop::util {
 
 using Bytes = std::vector<std::uint8_t>;
+
+// An immutable, reference-counted encoded buffer. Multicast fan-out and
+// retransmission queues hold references to one encoding instead of
+// copying it per peer (encode-once transmit path).
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+inline SharedBytes share(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
 
 class Writer {
  public:

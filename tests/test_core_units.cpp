@@ -90,7 +90,9 @@ TEST(EndpointUnit, AcceptInviteHookCanVeto) {
   std::vector<std::pair<ProcessId, util::Bytes>> wire0, wire1;
   std::vector<FormationOutcome> outcomes0;
   EndpointHooks h0;
-  h0.send = [&](ProcessId to, util::Bytes b) { wire0.emplace_back(to, b); };
+  h0.send = [&](ProcessId to, util::SharedBytes b) {
+    wire0.emplace_back(to, *b);
+  };
   h0.deliver = [](const Delivery&) {};
   h0.formation_result = [&](GroupId, FormationOutcome o) {
     outcomes0.push_back(o);
@@ -98,7 +100,9 @@ TEST(EndpointUnit, AcceptInviteHookCanVeto) {
   Endpoint e0(0, {}, std::move(h0));
 
   EndpointHooks h1;
-  h1.send = [&](ProcessId to, util::Bytes b) { wire1.emplace_back(to, b); };
+  h1.send = [&](ProcessId to, util::SharedBytes b) {
+    wire1.emplace_back(to, *b);
+  };
   h1.deliver = [](const Delivery&) {};
   h1.accept_invite = [](const FormInviteMsg&) { return false; };  // veto
   std::vector<FormationOutcome> outcomes1;

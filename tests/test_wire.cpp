@@ -173,6 +173,89 @@ TEST(Wire, DecodeRejectsTruncation) {
   EXPECT_FALSE(ConfirmMsg::decode(raw).has_value());
 }
 
+TEST(Wire, BatchFrameRoundTrip) {
+  OrderedMsg a;
+  a.type = MsgType::kApp;
+  a.group = 1;
+  a.sender = a.emitter = 2;
+  a.counter = 10;
+  a.payload = {1, 2, 3};
+  SuspectMsg s;
+  s.group = 1;
+  s.suspicion = {3, 9};
+  BatchFrame b;
+  b.payloads = {a.encode(), s.encode()};
+  const auto d = BatchFrame::decode(b.encode());
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->payloads.size(), 2u);
+  const auto da = OrderedMsg::decode(d->payloads[0]);
+  ASSERT_TRUE(da.has_value());
+  EXPECT_EQ(da->counter, 10u);
+  EXPECT_EQ(da->payload, (util::Bytes{1, 2, 3}));
+  const auto ds = SuspectMsg::decode(d->payloads[1]);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->suspicion.process, 3u);
+}
+
+TEST(Wire, BatchFrameEncodeSharedMatchesEncode) {
+  OrderedMsg a;
+  a.type = MsgType::kNull;
+  a.group = 4;
+  a.sender = a.emitter = 1;
+  a.counter = 7;
+  BatchFrame b;
+  b.payloads = {a.encode(), a.encode()};
+  const std::vector<util::SharedBytes> shared = {util::share(a.encode()),
+                                                 util::share(a.encode())};
+  EXPECT_EQ(b.encode(), BatchFrame::encode_shared(shared));
+}
+
+TEST(Wire, BatchFrameEmptyRoundTrips) {
+  BatchFrame b;
+  const auto d = BatchFrame::decode(b.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->payloads.empty());
+}
+
+TEST(Wire, BatchFrameRejectsOversizedCount) {
+  // A frame whose count field exceeds the cap is rejected before any
+  // payload allocation happens.
+  util::Writer w(8);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(BatchFrame::kMaxPayloads + 1);
+  EXPECT_FALSE(BatchFrame::decode(std::move(w).take()).has_value());
+}
+
+TEST(Wire, BatchFrameRejectsNestedBatch) {
+  BatchFrame inner;
+  BatchFrame outer;
+  outer.payloads = {inner.encode()};
+  EXPECT_FALSE(BatchFrame::decode(outer.encode()).has_value());
+}
+
+TEST(Wire, BatchFrameRejectsTruncationAndTrailingGarbage) {
+  OrderedMsg a;
+  a.type = MsgType::kApp;
+  a.group = 1;
+  a.sender = a.emitter = 2;
+  a.counter = 5;
+  a.payload = {9, 9, 9};
+  BatchFrame b;
+  b.payloads = {a.encode()};
+  auto raw = b.encode();
+  auto truncated = raw;
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(BatchFrame::decode(truncated).has_value());
+  raw.push_back(0x00);
+  EXPECT_FALSE(BatchFrame::decode(raw).has_value());
+}
+
+TEST(Wire, PeekTypeSeesBatch) {
+  BatchFrame b;
+  EXPECT_EQ(peek_type(b.encode()), MsgType::kBatch);
+  EXPECT_FALSE(is_ordered(MsgType::kBatch));
+}
+
 // §6 headline: Newtop's ordering metadata is bounded and does not grow
 // with group size — the App header carries no per-member data, unlike a
 // vector clock (n entries) or a Psync predecessor list (up to n-1 ids).
