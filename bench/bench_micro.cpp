@@ -135,7 +135,7 @@ void BM_MicroEncodeOrdered(benchmark::State& state) {
   m.sender = m.emitter = 17;
   m.counter = 123456789;
   m.ldn = 123456700;
-  m.payload.assign(64, 0xAB);
+  m.payload = util::Bytes(64, 0xAB);
   for (auto _ : state) {
     auto raw = m.encode();
     benchmark::DoNotOptimize(raw);
@@ -150,8 +150,10 @@ void BM_MicroDecodeOrdered(benchmark::State& state) {
   m.sender = m.emitter = 17;
   m.counter = 123456789;
   m.ldn = 123456700;
-  m.payload.assign(64, 0xAB);
-  const auto raw = m.encode();
+  m.payload = util::Bytes(64, 0xAB);
+  // Decode over an owned view, as the rx path does: payload comes out as
+  // a zero-copy slice of `raw`.
+  const util::BytesView raw(m.encode());
   for (auto _ : state) {
     auto decoded = OrderedMsg::decode(raw);
     benchmark::DoNotOptimize(decoded);

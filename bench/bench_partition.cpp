@@ -15,10 +15,17 @@ namespace {
 using namespace newtop;
 using namespace newtop::benchutil;
 
-// Splits [0, n) into [0, k) and [k, n); returns stabilisation time in ms
-// (both sides' views == exactly their own side) or -1 on timeout.
-double partition_stabilise_ms(std::size_t n, std::size_t k,
-                              std::uint64_t seed) {
+struct PartitionRun {
+  double ms = -1.0;           // stabilisation time; -1 on timeout
+  double bytes_wasted = 0;    // offered but not delivered (cut + loss)
+};
+
+// Splits [0, n) into [0, k) and [k, n); measures stabilisation time
+// (both sides' views == exactly their own side) and the byte overhead the
+// partition causes (datagrams sent into the cut, counted by
+// NetworkStats::bytes_sent - bytes_delivered).
+PartitionRun partition_stabilise(std::size_t n, std::size_t k,
+                                 std::uint64_t seed) {
   SimWorld w(default_world(n, seed));
   const auto members = all_members(n);
   w.create_group(1, members);
@@ -35,6 +42,9 @@ double partition_stabilise_ms(std::size_t n, std::size_t k,
     }
   }
   const sim::Time t0 = w.now();
+  const auto& net_stats = w.network().stats();
+  const std::uint64_t wasted_before =
+      net_stats.bytes_sent - net_stats.bytes_delivered;
   w.partition({a, b});
   const bool ok = w.run_until_pred(
       [&] {
@@ -49,19 +59,33 @@ double partition_stabilise_ms(std::size_t n, std::size_t k,
         return true;
       },
       w.now() + 600 * kSecond);
-  return ok ? static_cast<double>(w.now() - t0) / kMillisecond : -1.0;
+  PartitionRun run;
+  if (ok) {
+    run.ms = static_cast<double>(w.now() - t0) / kMillisecond;
+    run.bytes_wasted = static_cast<double>(
+        net_stats.bytes_sent - net_stats.bytes_delivered - wasted_before);
+  }
+  return run;
 }
 
 void BM_PartitionStabiliseVsGroupSize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Samples samples;
+  util::Samples wasted;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const double ms = partition_stabilise_ms(n, n / 2, seed++);
-    if (ms >= 0) samples.add(ms);
+    const PartitionRun run = partition_stabilise(n, n / 2, seed++);
+    if (run.ms >= 0) {
+      samples.add(run.ms);
+      wasted.add(run.bytes_wasted);
+    }
   }
   if (!samples.empty()) {
     state.counters["stabilise_ms_mean"] = samples.mean();
+    state.counters["bytes_wasted_mean"] = wasted.mean();
+    emit_bench_json("partition_stabilise/n" + std::to_string(n),
+                    {{"stabilise_ms_mean", samples.mean()},
+                     {"bytes_wasted_mean", wasted.mean()}});
   }
 }
 BENCHMARK(BM_PartitionStabiliseVsGroupSize)->Arg(4)->Arg(6)->Arg(8)->Arg(12)
@@ -72,8 +96,8 @@ void BM_PartitionStabiliseVsSplitRatio(benchmark::State& state) {
   util::Samples samples;
   std::uint64_t seed = 50;
   for (auto _ : state) {
-    const double ms = partition_stabilise_ms(8, k, seed++);
-    if (ms >= 0) samples.add(ms);
+    const PartitionRun run = partition_stabilise(8, k, seed++);
+    if (run.ms >= 0) samples.add(run.ms);
   }
   if (!samples.empty()) {
     state.counters["stabilise_ms_mean"] = samples.mean();

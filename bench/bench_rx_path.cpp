@@ -1,0 +1,202 @@
+// Receive-path cost: heap allocations per delivered message on the
+// end-to-end workload, and raw decode throughput of the batched wire path.
+//
+// The zero-copy rx refactor's claim is that a datagram is heap-allocated
+// once at the host boundary and everything downstream holds slices of it;
+// the observable is allocations per delivered message. This binary
+// overrides global operator new/delete with counting shims (single
+// translation unit, bench-only — the library is untouched), measures the
+// allocation delta across the workload and divides by deliveries.
+// Counters:
+//   allocs_per_delivery  — heap allocations per app message delivered
+//   bytes_per_delivery   — heap bytes requested per app message delivered
+//   decode_msgs_per_sec  — BatchFrame+OrderedMsg decode rate (micro bench)
+//   allocs_per_decode    — heap allocations per decoded sub-message
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "bench_util.h"
+#include "core/wire.h"
+
+// ---------------------------------------------------------------------
+// Counting allocator shims. Relaxed atomics: the sim workload is
+// single-threaded; benchmark-library worker threads only add noise that
+// is identical before/after.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+struct AllocSnapshot {
+  std::uint64_t allocs;
+  std::uint64_t bytes;
+  static AllocSnapshot take() {
+    return {g_allocs.load(std::memory_order_relaxed),
+            g_alloc_bytes.load(std::memory_order_relaxed)};
+  }
+};
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = nullptr;
+  const std::size_t align =
+      std::max(static_cast<std::size_t>(al), sizeof(void*));
+  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace newtop;
+using namespace newtop::benchutil;
+
+// The bursty 8-member symmetric workload of bench_batching (batch 8):
+// every member submits kBurst multicasts at the same instant, kRounds
+// times; measure the allocation delta from first submit to full delivery.
+void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode) {
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kMembers = 8;
+  constexpr int kBurst = 8;
+  constexpr int kRounds = 8;
+
+  double allocs_per_delivery = 0;
+  double bytes_per_delivery = 0;
+  for (auto _ : state) {
+    WorldConfig cfg = default_world(kMembers);
+    cfg.host.channel.max_batch = max_batch;
+    SimWorld w(cfg);
+    const auto members = all_members(kMembers);
+    GroupOptions opts;
+    opts.mode = mode;
+    w.create_group(1, members, opts);
+    w.run_for(500 * kMillisecond);  // settle
+
+    const std::size_t expect =
+        static_cast<std::size_t>(kRounds) * kBurst * kMembers;
+    const AllocSnapshot before = AllocSnapshot::take();
+    for (int r = 0; r < kRounds; ++r) {
+      for (ProcessId p : members) {
+        for (int b = 0; b < kBurst; ++b) {
+          w.multicast(p, 1,
+                      "r" + std::to_string(r) + "p" + std::to_string(p) +
+                          "b" + std::to_string(b));
+        }
+      }
+      w.run_for(40 * kMillisecond);
+    }
+    const bool ok = w.run_until_pred(
+        [&] {
+          for (ProcessId p : members) {
+            if (w.process(p).delivered_strings(1).size() < expect)
+              return false;
+          }
+          return true;
+        },
+        w.now() + 120 * kSecond);
+    const AllocSnapshot after = AllocSnapshot::take();
+    if (!ok) {
+      state.SkipWithError("burst did not fully deliver");
+      return;
+    }
+    // Deliveries across all members: each of `expect` messages delivered
+    // once per member.
+    const double deliveries = static_cast<double>(expect * kMembers);
+    allocs_per_delivery =
+        static_cast<double>(after.allocs - before.allocs) / deliveries;
+    bytes_per_delivery =
+        static_cast<double>(after.bytes - before.bytes) / deliveries;
+  }
+  state.counters["allocs_per_delivery"] = allocs_per_delivery;
+  state.counters["bytes_per_delivery"] = bytes_per_delivery;
+  emit_bench_json(
+      std::string("rx_delivery_allocs/") +
+          (mode == OrderMode::kSymmetric ? "sym" : "asym") + "/batch" +
+          std::to_string(max_batch),
+      {{"allocs_per_delivery", allocs_per_delivery},
+       {"bytes_per_delivery", bytes_per_delivery}});
+}
+
+void BM_RxDeliveryAllocsSymmetric(benchmark::State& state) {
+  BM_RxDeliveryAllocs(state, OrderMode::kSymmetric);
+}
+BENCHMARK(BM_RxDeliveryAllocsSymmetric)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RxDeliveryAllocsAsymmetric(benchmark::State& state) {
+  BM_RxDeliveryAllocs(state, OrderMode::kAsymmetric);
+}
+BENCHMARK(BM_RxDeliveryAllocsAsymmetric)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Pure wire-path micro bench: decode a BatchFrame of kSub ordered
+// messages and touch every payload byte, as the endpoint's dispatch loop
+// does. Before the view refactor each sub-payload is copied twice
+// (BatchFrame::decode + OrderedMsg::decode); after, decode is pointer
+// arithmetic over one shared buffer.
+void BM_DecodeBatchFrame(benchmark::State& state) {
+  const auto payload_len = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSub = 8;
+
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  m.group = 1;
+  m.sender = m.emitter = 3;
+  m.counter = 41;
+  m.ldn = 40;
+  m.payload = util::Bytes(payload_len, 0xAB);
+  BatchFrame frame;
+  for (std::size_t i = 0; i < kSub; ++i) frame.payloads.push_back(m.encode());
+  const util::Bytes raw = frame.encode();
+
+  std::uint64_t decoded = 0;
+  std::uint64_t checksum = 0;
+  const AllocSnapshot before = AllocSnapshot::take();
+  for (auto _ : state) {
+    // One shared heap buffer per datagram, as the hosts produce it.
+    const util::SharedBytes datagram = util::share(util::Bytes(raw));
+    auto b = BatchFrame::decode(util::BytesView(datagram));
+    for (const auto& p : b->payloads) {
+      auto sub = OrderedMsg::decode(p);
+      for (std::uint8_t byte : sub->payload) checksum += byte;
+      ++decoded;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  const AllocSnapshot after = AllocSnapshot::take();
+  const double allocs_per_decode =
+      decoded > 0
+          ? static_cast<double>(after.allocs - before.allocs) /
+                static_cast<double>(decoded)
+          : 0;
+  state.counters["decode_msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(decoded), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_decode"] = allocs_per_decode;
+  emit_bench_json("decode_batch_frame/payload" + std::to_string(payload_len),
+                  {{"allocs_per_decode", allocs_per_decode}});
+}
+BENCHMARK(BM_DecodeBatchFrame)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

@@ -4,6 +4,8 @@
 // simulation speed and are not experiment results.
 #pragma once
 
+#include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,36 @@ inline util::Samples measure_delivery_latency(SimWorld& w, GroupId g,
     w.run_for(gap);
   }
   return latency_ms;
+}
+
+// Records a machine-readable result for a benchmark so the perf
+// trajectory across PRs can be scraped from CI logs. Google Benchmark
+// re-invokes the benchmark function while calibrating the iteration
+// count, so results are buffered in a registry (last call wins — the
+// final, fully-measured run) and printed once at process exit:
+//   BENCH_JSON {"bench":"<name>","k1":v1,...}
+// Keys are sorted (std::map) so lines diff cleanly between runs.
+inline void emit_bench_json(const std::string& bench,
+                            const std::map<std::string, double>& fields) {
+  static std::map<std::string, std::map<std::string, double>> registry;
+  static const bool hooked = [] {
+    std::atexit([] {
+      for (const auto& [name, vals] : registry) {
+        std::string line = "BENCH_JSON {\"bench\":\"" + name + "\"";
+        char buf[64];
+        for (const auto& [k, v] : vals) {
+          std::snprintf(buf, sizeof(buf), "%.6g", v);
+          line += ",\"" + k + "\":" + buf;
+        }
+        line += "}";
+        std::fprintf(stdout, "%s\n", line.c_str());
+      }
+      std::fflush(stdout);
+    });
+    return true;
+  }();
+  (void)hooked;
+  registry[bench] = fields;
 }
 
 inline void report_latency(benchmark::State& state,

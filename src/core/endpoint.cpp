@@ -96,13 +96,12 @@ void Endpoint::leave_group(GroupId g, Time now) {
 // Transport / timer inputs
 // ---------------------------------------------------------------------
 
-void Endpoint::on_message(ProcessId from, const util::Bytes& data,
-                          Time now) {
+void Endpoint::on_message(ProcessId from, util::BytesView data, Time now) {
   Reentrancy scope(*this);
   dispatch_message(from, data, now, /*allow_batch=*/true);
 }
 
-void Endpoint::dispatch_message(ProcessId from, const util::Bytes& data,
+void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
                                 Time now, bool allow_batch) {
   const auto type = peek_type(data);
   if (!type) {
@@ -346,7 +345,11 @@ void Endpoint::emit_ordered(GroupState& gs, MsgType type,
   gs.last_sent = now;
   if (type == MsgType::kApp) ++stats_.app_multicasts;
   if (type == MsgType::kNull) ++stats_.nulls_sent;
-  fan_out(gs, util::share(m.encode()));
+  // Encode once; the same buffer fans out to every peer and, via m.raw,
+  // backs the local loop-back's retention/recovery slice.
+  const util::SharedBytes enc = util::share(m.encode());
+  m.raw = enc;
+  fan_out(gs, enc);
   // "Pi delivers its own messages also by executing the protocol" §3.
   process_ordered(self_, m, now, /*via_recovery=*/false);
 }
@@ -417,9 +420,11 @@ void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
     gs->last_activity[link_from] = now;
   }
 
-  // Retain unstable content-bearing messages for refute piggybacking.
+  // Retain unstable content-bearing messages for refute piggybacking: a
+  // reference to the received encoding, not a re-encoding of it.
   if (msg.type != MsgType::kNull && !duplicate_echo) {
-    gs->retained[msg.emitter][msg.counter] = msg.encode();
+    gs->retained[msg.emitter][msg.counter] =
+        msg.raw.empty() ? util::BytesView(msg.encode()) : msg.raw;
   }
 
   switch (msg.type) {

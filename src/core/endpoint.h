@@ -40,13 +40,15 @@ namespace newtop {
 
 using sim::Time;
 
-// A message handed to the application.
+// A message handed to the application. `payload` is an owned slice of the
+// arrival datagram's single allocation (or of the sender's own encoding
+// for self-delivery); it may be kept past the callback without copying.
 struct Delivery {
   GroupId group = 0;
   ProcessId sender = 0;   // m.s — always a member of the delivery view (MD1)
   Counter counter = 0;    // m.c — the total-order position
   ViewSeq view_seq = 0;   // r of the view it was delivered in
-  util::Bytes payload;
+  util::BytesView payload;
 };
 
 enum class FormationOutcome : std::uint8_t {
@@ -111,10 +113,12 @@ class Endpoint : private PlaneHost {
   // Transport and timer inputs
   // ------------------------------------------------------------------
 
-  // A payload delivered by the reliable FIFO transport from `from`. A
-  // BatchFrame payload is unwrapped and each sub-message dispatched as if
-  // it had arrived alone (frames never nest).
-  void on_message(ProcessId from, const util::Bytes& data, Time now);
+  // A payload delivered by the reliable FIFO transport from `from`, as an
+  // owned slice of the arrival datagram (plain Bytes convert implicitly,
+  // at the cost of one copy). A BatchFrame payload is unwrapped and each
+  // sub-message dispatched as a sub-slice, as if it had arrived alone
+  // (frames never nest).
+  void on_message(ProcessId from, util::BytesView data, Time now);
 
   // Drives time-silence (ω), the failure suspector (Ω) and formation
   // timeouts. Call at least every ω/2.
@@ -253,8 +257,8 @@ class Endpoint : private PlaneHost {
   const GroupState* find_group(GroupId g) const;
   Counter group_d(const GroupState& gs) const;
   bool counts_for_global_d(const GroupState& gs) const;
-  void dispatch_message(ProcessId from, const util::Bytes& data, Time now,
-                        bool allow_batch);
+  void dispatch_message(ProcessId from, const util::BytesView& data,
+                        Time now, bool allow_batch);
   void emit_ordered(GroupState& gs, MsgType type, util::Bytes payload,
                     Time now);
   void process_ordered(ProcessId link_from, const OrderedMsg& msg, Time now,
@@ -280,9 +284,9 @@ class Endpoint : private PlaneHost {
   void begin_barrier(GroupState& gs, Time now);
   void try_complete_barrier(GroupState& gs, Time now);
   void install_view(GroupState& gs, Time now);
-  std::vector<util::Bytes> recovery_payload(const GroupState& gs,
-                                            ProcessId suspect,
-                                            Counter above) const;
+  std::vector<util::BytesView> recovery_payload(const GroupState& gs,
+                                                ProcessId suspect,
+                                                Counter above) const;
   bool has_suspicion_on(const GroupState& gs, ProcessId p) const;
   bool in_pending_wave(const GroupState& gs, ProcessId p) const;
 

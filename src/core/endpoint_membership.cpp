@@ -141,14 +141,16 @@ void Endpoint::refute(GroupState& gs, Suspicion s, Time now) {
   fan_out(gs, util::share(r.encode()));
 }
 
-std::vector<util::Bytes> Endpoint::recovery_payload(const GroupState& gs,
-                                                    ProcessId suspect,
-                                                    Counter above) const {
+std::vector<util::BytesView> Endpoint::recovery_payload(const GroupState& gs,
+                                                        ProcessId suspect,
+                                                        Counter above) const {
   // Whose retained stream carries the suspect's ordered traffic is a
   // discipline question: the suspect's own stream in symmetric groups,
-  // the sequencer's echo stream in asymmetric ones.
+  // the sequencer's echo stream in asymmetric ones. The returned entries
+  // are the retention slices themselves; encoding the refute copies them
+  // into the outgoing frame exactly once.
   const ProcessId emitter = gs.plane->recovery_emitter(gs, suspect);
-  std::vector<util::Bytes> out;
+  std::vector<util::BytesView> out;
   auto it = gs.retained.find(emitter);
   if (it == gs.retained.end()) return out;
   for (auto mit = it->second.upper_bound(above); mit != it->second.end();

@@ -68,9 +68,11 @@ struct GroupCtx {
   // numbered <= min(sv) over the view are stable and discarded.
   std::map<ProcessId, Counter> sv;
   // Unstable retention: emitter -> counter -> raw encoding, for refute
-  // piggybacking. Nulls are not retained (they carry no content and
-  // rv-recovery is handled by the refuter's claimed_last).
-  std::map<ProcessId, std::map<Counter, util::Bytes>> retained;
+  // piggybacking. Each entry is an owned slice of the arrival datagram
+  // (OrderedMsg::raw) — retention holds a reference, not a re-encoding.
+  // Nulls are not retained (they carry no content and rv-recovery is
+  // handled by the refuter's claimed_last).
+  std::map<ProcessId, std::map<Counter, util::BytesView>> retained;
 
   // Liveness bookkeeping.
   Time last_sent = 0;                       // ordered-plane, for ω

@@ -20,16 +20,19 @@ class AsymmetricPlane final : public OrderingPlane {
 
   void submit_app(GroupCtx& g, util::Bytes payload, Time now) override {
     // §4.2: unicast to the sequencer; the unicast updates the logical
-    // clock exactly as a multicast does.
+    // clock exactly as a multicast does. The payload moves into one
+    // shared buffer here, referenced by both the outstanding entry and
+    // the forward (and later by the echo).
     const Counter oc = host_.clock_stamp();
-    outstanding_.push_back(OutstandingFwd{oc, payload});
+    util::BytesView pv(std::move(payload));
+    outstanding_.push_back(OutstandingFwd{oc, pv});
     ++host_.mutable_stats().fwds_sent;
     ++host_.mutable_stats().app_multicasts;
     FwdMsg f;
     f.group = g.id;
     f.origin = host_.self();
     f.origin_counter = oc;
-    f.payload = std::move(payload);
+    f.payload = std::move(pv);
     const ProcessId seq = sequencer_of(g.view);
     if (seq == host_.self()) {
       // "A process that also happens to be the sequencer will logically
@@ -66,9 +69,13 @@ class AsymmetricPlane final : public OrderingPlane {
     echo.counter = c;
     echo.origin_counter = fwd.origin_counter;
     echo.ldn = host_.ldn(g);
+    // Re-encoding reuses the received forward's payload slice — the
+    // sequencer never copies the application bytes it relays.
     echo.payload = fwd.payload;
     g.last_sent = now;
-    host_.fan_out(g, util::share(echo.encode()));
+    const util::SharedBytes enc = util::share(echo.encode());
+    echo.raw = enc;
+    host_.fan_out(g, enc);
     host_.loop_back(echo, now);
   }
 
@@ -181,7 +188,7 @@ class AsymmetricPlane final : public OrderingPlane {
  private:
   struct OutstandingFwd {
     Counter oc;
-    util::Bytes payload;
+    util::BytesView payload;  // shared with the forward's encoding
   };
 
   void clear_outstanding_echo(Counter oc, Time now) {

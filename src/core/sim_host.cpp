@@ -8,7 +8,7 @@ util::Bytes to_bytes(std::string_view s) {
   return util::Bytes(s.begin(), s.end());
 }
 
-std::string to_string(const util::Bytes& b) {
+std::string to_string(std::span<const std::uint8_t> b) {
   return std::string(b.begin(), b.end());
 }
 
@@ -16,8 +16,8 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
                        ProcessId id, const HostConfig& config)
     : sim_(simulator), net_(network), id_(id),
       tick_interval_(config.tick_interval) {
-  node_ = net_.add_node([this](sim::NodeId from, const util::Bytes& data) {
-    on_datagram(from, data);
+  node_ = net_.add_node([this](sim::NodeId from, util::SharedBytes data) {
+    on_datagram(from, std::move(data));
   });
   NEWTOP_CHECK_MSG(node_ == id_, "process ids must be dense from 0");
 
@@ -37,9 +37,9 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
         if (sends_until_crash_ && *sends_until_crash_ == 0) crash();
       },
       /*deliver=*/
-      [this](transport::PeerId from, util::Bytes payload) {
+      [this](transport::PeerId from, util::BytesView payload) {
         if (crashed_) return;
-        endpoint_->on_message(from, payload, sim_.now());
+        endpoint_->on_message(from, std::move(payload), sim_.now());
       });
 
   EndpointHooks hooks;
@@ -62,9 +62,9 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
   schedule_tick();
 }
 
-void SimProcess::on_datagram(sim::NodeId from, const util::Bytes& data) {
+void SimProcess::on_datagram(sim::NodeId from, util::SharedBytes data) {
   if (crashed_) return;
-  router_->on_datagram(from, data, sim_.now());
+  router_->on_datagram(from, util::BytesView(std::move(data)), sim_.now());
 }
 
 void SimProcess::schedule_flush() {

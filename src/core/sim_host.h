@@ -83,7 +83,7 @@ class SimProcess {
   std::vector<std::string> delivered_strings(GroupId g) const;
 
  private:
-  void on_datagram(sim::NodeId from, const util::Bytes& data);
+  void on_datagram(sim::NodeId from, util::SharedBytes data);
   void schedule_tick();
   // Flush-on-idle: endpoint sends are buffered in the router and flushed
   // by a zero-delay event once the current input has been fully processed,
@@ -148,8 +148,9 @@ class SimWorld {
   std::vector<std::unique_ptr<SimProcess>> procs_;
 };
 
-// Converts a string to payload bytes and back (examples/tests).
+// Converts a string to payload bytes and back (examples/tests). The
+// reverse direction takes a span so Bytes and BytesView both convert.
 util::Bytes to_bytes(std::string_view s);
-std::string to_string(const util::Bytes& b);
+std::string to_string(std::span<const std::uint8_t> b);
 
 }  // namespace newtop::simhost

@@ -22,7 +22,7 @@ util::Bytes OrderedMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<OrderedMsg> OrderedMsg::decode(const util::Bytes& data) {
+std::optional<OrderedMsg> OrderedMsg::decode(util::BytesView data) {
   util::Reader r(data);
   OrderedMsg m;
   m.type = static_cast<MsgType>(r.u8());
@@ -33,8 +33,9 @@ std::optional<OrderedMsg> OrderedMsg::decode(const util::Bytes& data) {
   m.counter = r.varint();
   m.origin_counter = r.varint();
   m.ldn = r.varint();
-  m.payload = r.bytes();
+  m.payload = r.bytes_view();
   if (!r.at_end()) return std::nullopt;
+  m.raw = std::move(data);
   return m;
 }
 
@@ -47,14 +48,14 @@ util::Bytes FwdMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<FwdMsg> FwdMsg::decode(const util::Bytes& data) {
+std::optional<FwdMsg> FwdMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kFwd) return std::nullopt;
   FwdMsg m;
   m.group = static_cast<GroupId>(r.varint());
   m.origin = static_cast<ProcessId>(r.varint());
   m.origin_counter = r.varint();
-  m.payload = r.bytes();
+  m.payload = r.bytes_view();
   if (!r.at_end()) return std::nullopt;
   return m;
 }
@@ -67,7 +68,7 @@ util::Bytes SuspectMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<SuspectMsg> SuspectMsg::decode(const util::Bytes& data) {
+std::optional<SuspectMsg> SuspectMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kSuspect) return std::nullopt;
   SuspectMsg m;
@@ -89,7 +90,7 @@ util::Bytes RefuteMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<RefuteMsg> RefuteMsg::decode(const util::Bytes& data) {
+std::optional<RefuteMsg> RefuteMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kRefute) return std::nullopt;
   RefuteMsg m;
@@ -100,7 +101,7 @@ std::optional<RefuteMsg> RefuteMsg::decode(const util::Bytes& data) {
   const std::uint64_t n = r.varint();
   if (n > 1u << 20) return std::nullopt;  // sanity bound
   m.recovered.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) m.recovered.push_back(r.bytes());
+  for (std::uint64_t i = 0; i < n; ++i) m.recovered.push_back(r.bytes_view());
   if (!r.at_end()) return std::nullopt;
   return m;
 }
@@ -116,7 +117,7 @@ util::Bytes ConfirmMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<ConfirmMsg> ConfirmMsg::decode(const util::Bytes& data) {
+std::optional<ConfirmMsg> ConfirmMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kConfirm) return std::nullopt;
   ConfirmMsg m;
@@ -146,7 +147,7 @@ util::Bytes FormInviteMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<FormInviteMsg> FormInviteMsg::decode(const util::Bytes& data) {
+std::optional<FormInviteMsg> FormInviteMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kFormInvite)
     return std::nullopt;
@@ -173,7 +174,7 @@ util::Bytes FormReplyMsg::encode() const {
   return std::move(w).take();
 }
 
-std::optional<FormReplyMsg> FormReplyMsg::decode(const util::Bytes& data) {
+std::optional<FormReplyMsg> FormReplyMsg::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kFormReply)
     return std::nullopt;
@@ -204,7 +205,7 @@ util::Bytes BatchFrame::encode_shared(
   return std::move(w).take();
 }
 
-std::optional<BatchFrame> BatchFrame::decode(const util::Bytes& data) {
+std::optional<BatchFrame> BatchFrame::decode(util::BytesView data) {
   util::Reader r(data);
   if (static_cast<MsgType>(r.u8()) != MsgType::kBatch) return std::nullopt;
   const std::uint64_t n = r.varint();
@@ -212,7 +213,8 @@ std::optional<BatchFrame> BatchFrame::decode(const util::Bytes& data) {
   BatchFrame b;
   b.payloads.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    util::Bytes p = r.bytes();
+    // Unwrap as sub-slices of the arrival buffer: no per-payload copy.
+    util::BytesView p = r.bytes_view();
     // A nested batch would allow unbounded amplification; reject the
     // whole frame rather than dispatch it.
     if (!p.empty() && static_cast<MsgType>(p[0]) == MsgType::kBatch)
@@ -223,7 +225,7 @@ std::optional<BatchFrame> BatchFrame::decode(const util::Bytes& data) {
   return b;
 }
 
-std::optional<MsgType> peek_type(const util::Bytes& data) {
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> data) {
   if (data.empty()) return std::nullopt;
   const auto t = static_cast<MsgType>(data[0]);
   switch (t) {

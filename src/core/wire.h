@@ -46,6 +46,12 @@ enum class MsgType : std::uint8_t {
 // `counter` — the sender itself in symmetric groups, the sequencer for
 // echoes in asymmetric groups. They are carried explicitly so a message
 // recovered via refute piggybacking is self-describing.
+//
+// Zero-copy receive path: `payload` and `raw` are owned slices of the
+// arrival datagram's single heap allocation (decode never copies them),
+// so a decoded message — and anything that retains it: the delivery
+// queue, suspicion-held buffers, recovery retention — can outlive the
+// datagram's handling without copying bytes.
 struct OrderedMsg {
   MsgType type = MsgType::kApp;
   GroupId group = 0;
@@ -54,10 +60,14 @@ struct OrderedMsg {
   Counter counter = 0;         // m.c
   Counter origin_counter = 0;  // asym: number the origin gave its unicast
   Counter ldn = 0;             // m.ldn, emitter's D at transmission (§5.1)
-  util::Bytes payload;
+  util::BytesView payload;
+  // The exact received encoding (decode: the whole input view; emit
+  // paths: the one shared encoding that fanned out). Retention and refute
+  // piggybacking reuse it instead of re-encoding.
+  util::BytesView raw;
 
   util::Bytes encode() const;
-  static std::optional<OrderedMsg> decode(const util::Bytes& data);
+  static std::optional<OrderedMsg> decode(util::BytesView data);
 };
 
 // Asymmetric-mode forward (origin's unicast to the sequencer).
@@ -65,10 +75,11 @@ struct FwdMsg {
   GroupId group = 0;
   ProcessId origin = 0;
   Counter origin_counter = 0;
-  util::Bytes payload;
+  util::BytesView payload;  // slice of the arrival datagram; the echo
+                            // re-encoding reuses it without copying
 
   util::Bytes encode() const;
-  static std::optional<FwdMsg> decode(const util::Bytes& data);
+  static std::optional<FwdMsg> decode(util::BytesView data);
 };
 
 // A suspicion: "Pk has failed and the last message I attribute to it is
@@ -85,7 +96,7 @@ struct SuspectMsg {
   Suspicion suspicion;
 
   util::Bytes encode() const;
-  static std::optional<SuspectMsg> decode(const util::Bytes& data);
+  static std::optional<SuspectMsg> decode(util::BytesView data);
 };
 
 struct RefuteMsg {
@@ -99,10 +110,12 @@ struct RefuteMsg {
   Counter claimed_last = 0;
   // Raw encodings of retained ordered messages proving the suspect's
   // liveness and letting the suspector recover what it missed (§5.2 iii).
-  std::vector<util::Bytes> recovered;
+  // On the refuter these are the retention slices themselves; on the
+  // receiver, slices of the refute datagram.
+  std::vector<util::BytesView> recovered;
 
   util::Bytes encode() const;
-  static std::optional<RefuteMsg> decode(const util::Bytes& data);
+  static std::optional<RefuteMsg> decode(util::BytesView data);
 };
 
 struct ConfirmMsg {
@@ -110,7 +123,7 @@ struct ConfirmMsg {
   std::vector<Suspicion> detection;
 
   util::Bytes encode() const;
-  static std::optional<ConfirmMsg> decode(const util::Bytes& data);
+  static std::optional<ConfirmMsg> decode(util::BytesView data);
 };
 
 struct FormInviteMsg {
@@ -120,7 +133,7 @@ struct FormInviteMsg {
   std::vector<ProcessId> members;
 
   util::Bytes encode() const;
-  static std::optional<FormInviteMsg> decode(const util::Bytes& data);
+  static std::optional<FormInviteMsg> decode(util::BytesView data);
 };
 
 struct FormReplyMsg {
@@ -129,7 +142,7 @@ struct FormReplyMsg {
   bool yes = false;
 
   util::Bytes encode() const;
-  static std::optional<FormReplyMsg> decode(const util::Bytes& data);
+  static std::optional<FormReplyMsg> decode(util::BytesView data);
 };
 
 // A transport container: several encoded protocol messages coalesced into
@@ -139,7 +152,9 @@ struct FormReplyMsg {
 // protocol itself is oblivious — receivers unwrap and dispatch each
 // payload as if it had arrived alone. Frames never nest.
 struct BatchFrame {
-  std::vector<util::Bytes> payloads;
+  // On decode these are sub-slices of the one arrival buffer: unwrapping
+  // a frame is pointer arithmetic, not N payload copies.
+  std::vector<util::BytesView> payloads;
 
   static constexpr std::size_t kMaxPayloads = 4096;
 
@@ -148,11 +163,11 @@ struct BatchFrame {
   // without copying them into a BatchFrame first.
   static util::Bytes encode_shared(
       const std::vector<util::SharedBytes>& payloads);
-  static std::optional<BatchFrame> decode(const util::Bytes& data);
+  static std::optional<BatchFrame> decode(util::BytesView data);
 };
 
 // Peeks at the type byte without a full decode.
-std::optional<MsgType> peek_type(const util::Bytes& data);
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> data);
 
 // True for types on the ordered plane (stamped with logical clock values).
 constexpr bool is_ordered(MsgType t) {

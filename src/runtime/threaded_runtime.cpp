@@ -134,7 +134,10 @@ class ThreadedRuntime::Worker {
       const sim::Time now = steady_now_us();
       for (auto& item : batch) {
         if (item.kind == Item::kMessage) {
-          endpoint_->on_message(item.from, *item.data, now);
+          // Zero-copy hand-off: the endpoint receives a view of the
+          // mailbox item's shared buffer, not a copy of it.
+          endpoint_->on_message(item.from,
+                                util::BytesView(std::move(item.data)), now);
         } else {
           item.fn(*endpoint_, now);
         }

@@ -74,13 +74,19 @@ struct NetworkStats {
   std::uint64_t datagrams_dropped = 0;      // random loss
   std::uint64_t datagrams_partitioned = 0;  // blocked by partition/down node
   std::uint64_t datagrams_duplicated = 0;
+  // Offered vs delivered bytes: bytes_sent counts every send attempt
+  // (including datagrams later dropped or blocked by a partition), so the
+  // byte overhead of loss and partitions is bytes_sent - bytes_delivered.
+  std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
 };
 
 class Network {
  public:
+  // A delivered datagram is handed over as the one shared heap allocation
+  // made at send time (zero-copy receive path; duplicates share it too).
   using DeliverFn =
-      std::function<void(NodeId from, const util::Bytes& payload)>;
+      std::function<void(NodeId from, util::SharedBytes payload)>;
 
   Network(Simulator& simulator, NetworkConfig config, util::Rng rng)
       : sim_(simulator), config_(config), rng_(rng) {}
@@ -100,6 +106,7 @@ class Network {
   // where the cut happens at the sender's edge).
   void send(NodeId from, NodeId to, util::Bytes payload) {
     ++stats_.datagrams_sent;
+    stats_.bytes_sent += payload.size();
     if (!connected(from, to)) {
       ++stats_.datagrams_partitioned;
       return;
@@ -109,10 +116,12 @@ class Network {
       return;
     }
     const bool dup = rng_.next_bool(config_.duplicate_probability);
-    deliver_later(from, to, payload);
+    // The datagram's one heap allocation: receivers get slices of it.
+    const util::SharedBytes shared = util::share(std::move(payload));
+    deliver_later(from, to, shared);
     if (dup) {
       ++stats_.datagrams_duplicated;
-      deliver_later(from, to, payload);
+      deliver_later(from, to, shared);
     }
   }
 
@@ -182,15 +191,16 @@ class Network {
     std::uint32_t component;
   };
 
-  void deliver_later(NodeId from, NodeId to, const util::Bytes& payload) {
+  void deliver_later(NodeId from, NodeId to, util::SharedBytes payload) {
     const auto lit = link_latency_.find({from, to});
     const Duration latency = lit != link_latency_.end()
                                  ? lit->second.sample(rng_)
                                  : config_.latency.sample(rng_);
-    sim_.schedule_after(latency, [this, from, to, payload] {
+    sim_.schedule_after(latency, [this, from, to,
+                                  payload = std::move(payload)] {
       if (nodes_[to].down) return;
       ++stats_.datagrams_delivered;
-      stats_.bytes_delivered += payload.size();
+      stats_.bytes_delivered += payload->size();
       nodes_[to].deliver(from, payload);
     });
   }

@@ -153,14 +153,17 @@ class ChannelSender {
 };
 
 // Receiver half: reorders, deduplicates and delivers in sequence order.
+// Payloads are owned slices of the arrival datagrams (zero-copy receive
+// path): buffering a payload for reordering keeps its datagram's single
+// allocation alive, never copies it.
 class ChannelReceiver {
  public:
   explicit ChannelReceiver(ChannelConfig config) : config_(config) {}
 
   // Handles a data packet; appends in-order payloads to `delivered`.
   // Returns the cumulative ack to send back.
-  std::uint64_t on_data(std::uint64_t seq, util::Bytes payload,
-                        std::vector<util::Bytes>& delivered,
+  std::uint64_t on_data(std::uint64_t seq, util::BytesView payload,
+                        std::vector<util::BytesView>& delivered,
                         ChannelStats& stats) {
     if (seq < next_expected_ || buffer_.count(seq) > 0) {
       ++stats.duplicates_dropped;
@@ -184,7 +187,7 @@ class ChannelReceiver {
 
  private:
   ChannelConfig config_;
-  std::map<std::uint64_t, util::Bytes> buffer_;
+  std::map<std::uint64_t, util::BytesView> buffer_;
   std::uint64_t next_expected_ = 1;
 };
 

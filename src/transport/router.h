@@ -26,8 +26,9 @@ class Router {
  public:
   // Sends one datagram towards a peer (unreliably).
   using SendDatagramFn = std::function<void(PeerId to, util::Bytes)>;
-  // Delivers one in-order payload from a peer.
-  using DeliverFn = std::function<void(PeerId from, util::Bytes)>;
+  // Delivers one in-order payload from a peer: an owned slice of the
+  // arrival datagram's single allocation (zero-copy receive path).
+  using DeliverFn = std::function<void(PeerId from, util::BytesView)>;
 
   Router(PeerId self, ChannelConfig config, SendDatagramFn send,
          DeliverFn deliver)
@@ -47,7 +48,7 @@ class Router {
   // and send_buffered() cannot reorder the per-peer stream.
   void send(PeerId to, util::SharedBytes payload, Time now) {
     if (to == self_) {
-      deliver_(self_, *payload);
+      deliver_(self_, util::BytesView(std::move(payload)));
       return;
     }
     auto& peer = peers(to);
@@ -67,7 +68,7 @@ class Router {
   // preserved: pending payloads flush in arrival order, ahead of nothing.
   void send_buffered(PeerId to, util::SharedBytes payload, Time now) {
     if (to == self_) {
-      deliver_(self_, *payload);
+      deliver_(self_, util::BytesView(std::move(payload)));
       return;
     }
     auto& peer = peers(to);
@@ -84,21 +85,24 @@ class Router {
     for (auto& [peer_id, peer] : peers_) flush_peer(peer_id, peer, now);
   }
 
-  void on_datagram(PeerId from, const util::Bytes& datagram, Time now) {
+  // The datagram arrives as an owned view of its one heap allocation
+  // (hosts `share` the receive buffer once); the channel payload handed
+  // upward is a sub-slice of it, not a copy.
+  void on_datagram(PeerId from, util::BytesView datagram, Time now) {
     util::Reader r(datagram);
     const auto kind = static_cast<PacketKind>(r.u8());
     auto& peer = peers(from);
     if (kind == PacketKind::kData) {
       const std::uint64_t seq = r.varint();
       const std::uint64_t piggyback = r.varint();
-      util::Bytes payload = r.bytes();
+      util::BytesView payload = r.bytes_view();
       if (!r.ok()) {
         NEWTOP_LOG_WARN("router %u: malformed data packet from %u", self_,
                         from);
         return;
       }
       handle_ack(peer, from, piggyback, now);
-      std::vector<util::Bytes> ready;
+      std::vector<util::BytesView> ready;
       const std::uint64_t ack =
           peer.receiver.on_data(seq, std::move(payload), ready, peer.stats);
       send_ack(from, ack, peer);

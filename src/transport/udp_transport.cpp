@@ -91,8 +91,8 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
         socket_.send_to(dest, data);
       },
       /*deliver=*/
-      [this](PeerId from, util::Bytes payload) {
-        endpoint_->on_message(from, payload, now_us());
+      [this](PeerId from, util::BytesView payload) {
+        endpoint_->on_message(from, std::move(payload), now_us());
       });
 
   EndpointHooks hooks;
@@ -151,7 +151,8 @@ void UdpNode::run() {
         std::max<sim::Time>(1, (next_tick - now) / sim::kMillisecond));
     socket_.wait_readable(std::min(wait_ms, 20));
 
-    // Drain the socket.
+    // Drain the socket. Each datagram becomes one owned heap buffer at
+    // this boundary; everything upward holds slices of it.
     std::uint16_t from_port;
     util::Bytes data;
     while (socket_.receive(from_port, data)) {
@@ -162,7 +163,7 @@ void UdpNode::run() {
         if (it != port_peers_.end()) from = it->second;
       }
       if (from != kNoProcess) {
-        router_->on_datagram(from, data, now_us());
+        router_->on_datagram(from, util::share(std::move(data)), now_us());
       }
     }
     // Drain application commands.

@@ -6,8 +6,10 @@
 // than exceptions, so transport code can drop corrupt datagrams cheaply.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <string>
@@ -26,6 +28,74 @@ using SharedBytes = std::shared_ptr<const Bytes>;
 inline SharedBytes share(Bytes b) {
   return std::make_shared<const Bytes>(std::move(b));
 }
+
+// An owned, immutable slice of a reference-counted buffer: the backbone
+// of the zero-copy receive path. A datagram is heap-allocated once at the
+// host boundary; wire decoders, the transport's reorder buffer and the
+// engine's retention / delivery queues all hold BytesViews into that one
+// allocation, so a slice may freely outlive the handling of the datagram
+// it arrived in.
+class BytesView {
+ public:
+  BytesView() = default;
+
+  // Whole-buffer view. Implicit: a SharedBytes is already safely owned.
+  BytesView(SharedBytes buf) : buf_(std::move(buf)) {
+    len_ = buf_ ? buf_->size() : 0;
+  }
+
+  // Sub-slice of a buffer; clamps to the buffer's bounds.
+  BytesView(SharedBytes buf, std::size_t offset, std::size_t length)
+      : buf_(std::move(buf)) {
+    const std::size_t n = buf_ ? buf_->size() : 0;
+    off_ = std::min(offset, n);
+    len_ = std::min(length, n - off_);
+  }
+
+  // Takes ownership of a plain buffer (moves it into a shared allocation;
+  // no byte copy for rvalues). Implicit so tx-path code can hand owned
+  // Bytes straight to view-typed message fields.
+  BytesView(Bytes b) : BytesView(share(std::move(b))) {}
+  BytesView(std::initializer_list<std::uint8_t> il) : BytesView(Bytes(il)) {}
+
+  static BytesView copy_of(std::span<const std::uint8_t> data) {
+    return BytesView(Bytes(data.begin(), data.end()));
+  }
+
+  const std::uint8_t* data() const {
+    return buf_ ? buf_->data() + off_ : nullptr;
+  }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+  std::span<const std::uint8_t> span() const { return {data(), len_}; }
+  operator std::span<const std::uint8_t>() const { return span(); }
+
+  // Sub-slice relative to this view; clamps to this view's bounds.
+  BytesView subview(std::size_t offset, std::size_t length) const {
+    offset = std::min(offset, len_);
+    length = std::min(length, len_ - offset);
+    return BytesView(buf_, off_ + offset, length);
+  }
+
+  // The backing allocation (introspection: lifetime tests, pooling).
+  const SharedBytes& buffer() const { return buf_; }
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  friend bool operator==(const BytesView& a, const BytesView& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const BytesView& a, const Bytes& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  SharedBytes buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
 
 class Writer {
  public:
@@ -85,6 +155,16 @@ class Writer {
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit Reader(const Bytes& data) : data_(data) {}
+  // A reader over an owned view hands out zero-copy sub-slices
+  // (bytes_view) that stay valid after both the reader and the caller's
+  // view are gone.
+  explicit Reader(const BytesView& view)
+      : data_(view.span()), backing_(view.buffer()) {
+    if (backing_) {
+      base_ = static_cast<std::size_t>(view.data() - backing_->data());
+    }
+  }
 
   std::uint8_t u8() {
     if (!need(1)) return 0;
@@ -144,6 +224,20 @@ class Reader {
     return out;
   }
 
+  // Length-prefixed byte string as an owned slice of the backing buffer:
+  // zero-copy for readers constructed from a BytesView, a fresh copy for
+  // span readers (which own nothing to slice).
+  BytesView bytes_view() {
+    const std::uint64_t n = varint();
+    if (!need(n)) return {};
+    const auto len = static_cast<std::size_t>(n);
+    BytesView out = backing_ != nullptr
+                        ? BytesView(backing_, base_ + pos_, len)
+                        : BytesView::copy_of(data_.subspan(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
   std::string str() {
     const std::uint64_t n = varint();
     if (!need(n)) return {};
@@ -167,6 +261,8 @@ class Reader {
   void fail() { ok_ = false; }
 
   std::span<const std::uint8_t> data_;
+  SharedBytes backing_;     // set for view readers; enables bytes_view
+  std::size_t base_ = 0;    // offset of data_[0] within *backing_
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

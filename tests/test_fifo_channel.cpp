@@ -118,7 +118,7 @@ TEST(ChannelSender, PiggybackAckRidesOnData) {
 TEST(ChannelReceiver, InOrderDeliveryAndCumAck) {
   ChannelReceiver r{ChannelConfig{}};
   ChannelStats stats;
-  std::vector<util::Bytes> delivered;
+  std::vector<util::BytesView> delivered;
   EXPECT_EQ(r.on_data(1, bytes_of("a"), delivered, stats), 1u);
   EXPECT_EQ(r.on_data(2, bytes_of("b"), delivered, stats), 2u);
   ASSERT_EQ(delivered.size(), 2u);
@@ -128,7 +128,7 @@ TEST(ChannelReceiver, InOrderDeliveryAndCumAck) {
 TEST(ChannelReceiver, BuffersGapAndReleasesInOrder) {
   ChannelReceiver r{ChannelConfig{}};
   ChannelStats stats;
-  std::vector<util::Bytes> delivered;
+  std::vector<util::BytesView> delivered;
   EXPECT_EQ(r.on_data(3, bytes_of("c"), delivered, stats), 0u);
   EXPECT_EQ(r.on_data(2, bytes_of("b"), delivered, stats), 0u);
   EXPECT_TRUE(delivered.empty());
@@ -142,7 +142,7 @@ TEST(ChannelReceiver, BuffersGapAndReleasesInOrder) {
 TEST(ChannelReceiver, DropsDuplicatesBelowAndInBuffer) {
   ChannelReceiver r{ChannelConfig{}};
   ChannelStats stats;
-  std::vector<util::Bytes> delivered;
+  std::vector<util::BytesView> delivered;
   r.on_data(1, bytes_of("a"), delivered, stats);
   r.on_data(1, bytes_of("a"), delivered, stats);  // replay of delivered
   r.on_data(3, bytes_of("c"), delivered, stats);
@@ -156,7 +156,7 @@ TEST(ChannelReceiver, ReorderBufferCapDropsOverflow) {
   cfg.max_reorder = 2;
   ChannelReceiver r{cfg};
   ChannelStats stats;
-  std::vector<util::Bytes> delivered;
+  std::vector<util::BytesView> delivered;
   r.on_data(10, bytes_of("j"), delivered, stats);
   r.on_data(11, bytes_of("k"), delivered, stats);
   r.on_data(12, bytes_of("l"), delivered, stats);  // over cap: dropped
@@ -183,7 +183,7 @@ TEST(ChannelPair, EndToEndWithLossyHandDelivery) {
   for (int i = 0; i < 20; ++i) {
     s.send(bytes_of("m" + std::to_string(i)), 0, wire, 0);
   }
-  std::vector<util::Bytes> delivered;
+  std::vector<util::BytesView> delivered;
   sim::Time now = 0;
   while (delivered.size() < 20 && now < 100000) {
     std::vector<util::Bytes> next_wire;

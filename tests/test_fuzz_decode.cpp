@@ -238,12 +238,89 @@ TEST(FuzzDecode, EndpointSurvivesSemanticallyHostileMessages) {
   EXPECT_EQ(w.ep(1).view(1)->members, (std::vector<ProcessId>{0, 1, 2}));
 }
 
+TEST(FuzzDecode, ViewDecodersSliceWithinBackingBuffer) {
+  // Zero-copy decoders hand back sub-slices of the arrival buffer; the
+  // slice arithmetic must never escape the backing allocation, even when
+  // the decoded region is itself a mid-buffer view with hostile length
+  // fields. Every view a successful decode returns is bounds-checked
+  // against its backing buffer.
+  util::Rng rng(8675309);
+
+  OrderedMsg inner;
+  inner.type = MsgType::kApp;
+  inner.group = 3;
+  inner.sender = inner.emitter = 2;
+  inner.counter = 9;
+  inner.payload = {1, 2, 3, 4};
+  BatchFrame bf;
+  bf.payloads = {inner.encode(), inner.encode(), inner.encode()};
+  RefuteMsg rf;
+  rf.group = 3;
+  rf.suspicion = {2, 5};
+  rf.claimed_last = 9;
+  rf.recovered = {inner.encode(), inner.encode()};
+  const std::vector<util::Bytes> seeds = {inner.encode(), bf.encode(),
+                                          rf.encode()};
+
+  const auto in_bounds = [](const util::BytesView& v) {
+    if (v.buffer() == nullptr) return v.empty();
+    const std::uint8_t* base = v.buffer()->data();
+    return v.data() >= base &&
+           v.data() + v.size() <= base + v.buffer()->size();
+  };
+
+  for (int i = 0; i < 20000; ++i) {
+    // A valid encoding (mutated) or pure garbage, embedded mid-buffer
+    // between random pads; decode over the interior slice.
+    util::Bytes content = i % 2 == 0 ? seeds[rng.next_below(seeds.size())]
+                                     : random_bytes(rng, 64);
+    const int edits = static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits; ++e) {
+      if (!content.empty()) {
+        content[rng.next_below(content.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+    }
+    const util::Bytes front = random_bytes(rng, 8);
+    const util::Bytes back = random_bytes(rng, 8);
+    util::Bytes buf = front;
+    buf.insert(buf.end(), content.begin(), content.end());
+    buf.insert(buf.end(), back.begin(), back.end());
+    const util::SharedBytes shared = util::share(std::move(buf));
+    // Mostly the exact content slice; sometimes a deliberately skewed one.
+    std::size_t off = front.size();
+    std::size_t len = content.size();
+    if (rng.next_below(4) == 0) {
+      off = rng.next_below(shared->size() + 1);
+      len = rng.next_below(shared->size() + 1);
+    }
+    const util::BytesView view(shared, off, len);
+
+    if (auto m = OrderedMsg::decode(view)) {
+      EXPECT_TRUE(in_bounds(m->payload));
+      EXPECT_TRUE(in_bounds(m->raw));
+    }
+    if (auto f = FwdMsg::decode(view)) EXPECT_TRUE(in_bounds(f->payload));
+    if (auto r = RefuteMsg::decode(view)) {
+      for (const auto& rec : r->recovered) EXPECT_TRUE(in_bounds(rec));
+    }
+    if (auto b = BatchFrame::decode(view)) {
+      for (const auto& p : b->payloads) {
+        EXPECT_TRUE(in_bounds(p));
+        if (auto m = OrderedMsg::decode(p)) {
+          EXPECT_TRUE(in_bounds(m->payload));
+        }
+      }
+    }
+  }
+}
+
 TEST(FuzzDecode, RouterSurvivesGarbageDatagrams) {
   util::Rng rng(31337);
   int delivered = 0;
   transport::Router router(
       0, {}, [](transport::PeerId, util::Bytes) {},
-      [&delivered](transport::PeerId, util::Bytes) { ++delivered; });
+      [&delivered](transport::PeerId, util::BytesView) { ++delivered; });
   for (int i = 0; i < 20000; ++i) {
     router.on_datagram(1, random_bytes(rng, 40), i);
   }

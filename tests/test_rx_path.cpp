@@ -1,0 +1,177 @@
+// Zero-copy receive path: slice lifetime tests.
+//
+// The rx refactor's invariant is that a datagram is heap-allocated once
+// and everything downstream — the delivery queue, application deliveries,
+// recovery retention, refute piggybacks — holds owned slices of that one
+// allocation. These tests hand an endpoint a shared arrival buffer, DROP
+// the test's own reference, and then verify the engine's retained slices
+// are still alive (weak_ptr observation) and byte-correct (content
+// checks; ASan in the Debug CI job turns any dangling slice into a hard
+// failure).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/wire.h"
+
+namespace newtop {
+namespace {
+
+util::Bytes bytes_of(const std::string& s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+// A bare endpoint with capture-everything hooks; no transport, no host.
+struct Harness {
+  std::vector<Delivery> delivered;
+  std::vector<std::pair<ProcessId, util::SharedBytes>> sent;
+  std::unique_ptr<Endpoint> ep;
+
+  explicit Harness(ProcessId self, Config cfg = {}) {
+    EndpointHooks hooks;
+    hooks.send = [this](ProcessId to, util::SharedBytes data) {
+      sent.emplace_back(to, std::move(data));
+    };
+    hooks.deliver = [this](const Delivery& d) { delivered.push_back(d); };
+    ep = std::make_unique<Endpoint>(self, cfg, std::move(hooks));
+  }
+};
+
+util::Bytes encode_app(GroupId g, ProcessId sender, Counter c,
+                       const std::string& payload, Counter ldn = 0) {
+  OrderedMsg m;
+  m.type = MsgType::kApp;
+  m.group = g;
+  m.sender = m.emitter = sender;
+  m.counter = c;
+  m.ldn = ldn;
+  m.payload = bytes_of(payload);
+  return m.encode();
+}
+
+TEST(RxPath, DeliveredSliceOutlivesArrivalDatagram) {
+  // Atomic-only group: the message is delivered during on_message; the
+  // recorded Delivery's payload must stay valid and correct after the
+  // arrival buffer's last external reference is gone.
+  Harness h(1);
+  GroupOptions opts;
+  opts.guarantee = Guarantee::kAtomicOnly;
+  h.ep->create_group(1, {0, 1}, opts, 0);
+
+  util::SharedBytes datagram = util::share(encode_app(1, 0, 1, "keepme"));
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+
+  ASSERT_EQ(h.delivered.size(), 1u);
+  // The delivery (and recovery retention) still reference the buffer.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(h.delivered[0].payload, bytes_of("keepme"));
+  EXPECT_EQ(h.delivered[0].payload.buffer().get(), watch.lock().get());
+}
+
+TEST(RxPath, QueuedDeliverySlicesOutliveBatchedDatagram) {
+  // Total-order group: messages from P0 wait in the delivery queue until
+  // P1's own stream advances past them. Both arrive in one BatchFrame
+  // whose buffer the test releases while they are still queued.
+  Harness h(1);
+  h.ep->create_group(1, {0, 1}, {}, 0);
+
+  BatchFrame frame;
+  frame.payloads = {encode_app(1, 0, 1, "first"),
+                    encode_app(1, 0, 2, "second")};
+  util::SharedBytes datagram = util::share(frame.encode());
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+
+  // Still gated: D = min over members, and P1 has emitted nothing.
+  EXPECT_EQ(h.delivered.size(), 0u);
+  EXPECT_EQ(h.ep->queued_deliveries(), 2u);
+  EXPECT_FALSE(watch.expired());  // the queue's slices keep it alive
+
+  // P1's own multicast stamps counter 3 (CA2 observed 2) and raises
+  // rv[1]; D reaches 2 and the queued slices deliver in order.
+  ASSERT_TRUE(h.ep->multicast(1, bytes_of("own"), 2));
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].payload, bytes_of("first"));
+  EXPECT_EQ(h.delivered[1].payload, bytes_of("second"));
+  // Both payloads are sub-slices of the one batched arrival buffer.
+  EXPECT_EQ(h.delivered[0].payload.buffer().get(),
+            h.delivered[1].payload.buffer().get());
+}
+
+TEST(RxPath, RetainedRecoverySlicesBackRefutePiggybacks) {
+  // P1 retains P0's message (as a slice of the arrival datagram, since
+  // released), then refutes P2's stale suspicion of P0. The refute's
+  // piggybacked recovery entries must reproduce the original encoding.
+  Harness h(1);
+  h.ep->create_group(1, {0, 1, 2}, {}, 0);
+
+  const util::Bytes original = encode_app(1, 0, 5, "evidence");
+  util::SharedBytes datagram = util::share(util::Bytes(original));
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+  EXPECT_FALSE(watch.expired());  // retention holds a slice
+  EXPECT_EQ(h.ep->retained_messages(1), 1u);
+
+  SuspectMsg suspect;
+  suspect.group = 1;
+  suspect.suspicion = Suspicion{0, 0};  // "P0 failed; last saw ln = 0"
+  h.sent.clear();
+  h.ep->on_message(2, suspect.encode(), 2);
+
+  // P1 has rv[0] = 5 > 0: it must have fanned out a refute carrying the
+  // retained message.
+  std::optional<RefuteMsg> refute;
+  for (const auto& [to, raw] : h.sent) {
+    if (peek_type(*raw) == MsgType::kRefute) {
+      refute = RefuteMsg::decode(util::BytesView(raw));
+      break;
+    }
+  }
+  ASSERT_TRUE(refute.has_value());
+  EXPECT_EQ(refute->claimed_last, 5u);
+  ASSERT_EQ(refute->recovered.size(), 1u);
+  EXPECT_EQ(refute->recovered[0], original);
+  const auto recovered = OrderedMsg::decode(refute->recovered[0]);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->payload, bytes_of("evidence"));
+}
+
+TEST(RxPath, SuspicionHeldSlicesSurviveDatagramRelease) {
+  // Messages from a suspected process are held pending agreement; the
+  // held OrderedMsgs' views must keep their (batched) arrival buffer
+  // alive. self_refute is off so the evidence is held, not consumed.
+  Config cfg;
+  cfg.self_refute = false;
+  Harness h(1, cfg);
+  h.ep->create_group(1, {0, 1, 2}, {}, 0);
+
+  // Keep P2 fresh so only P0 crosses the Ω silence threshold — with P2
+  // unendorsed the agreement cannot conclude, and the suspicion (with its
+  // held messages) stays pending.
+  h.ep->on_message(2, encode_app(1, 2, 1, "alive2"),
+                   cfg.omega_big - 50 * sim::kMillisecond);
+  h.ep->on_tick(cfg.omega_big + 1);
+  ASSERT_TRUE(h.ep->suspects(1, 0));
+  ASSERT_FALSE(h.ep->suspects(1, 2));
+
+  BatchFrame frame;
+  frame.payloads = {encode_app(1, 0, 7, "held")};
+  util::SharedBytes datagram = util::share(frame.encode());
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), cfg.omega_big + 2);
+  datagram.reset();
+
+  // Not delivered, not retained — held under the suspicion, slice alive.
+  EXPECT_EQ(h.delivered.size(), 0u);
+  EXPECT_FALSE(watch.expired());
+}
+
+}  // namespace
+}  // namespace newtop

@@ -107,8 +107,8 @@ struct TestNet {
     received.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId id = net.add_node(
-          [this, i](NodeId from, const util::Bytes& data) {
-            received[i].emplace_back(from, data);
+          [this, i](NodeId from, util::SharedBytes data) {
+            received[i].emplace_back(from, *data);
           });
       EXPECT_EQ(id, i);
     }
@@ -163,6 +163,24 @@ TEST(Network, PartitionBlocksAcrossAndAllowsWithin) {
   EXPECT_EQ(t.received[2].size(), 1u);  // only from 3
   EXPECT_EQ(t.received[2][0].first, 3u);
   EXPECT_EQ(t.net.stats().datagrams_partitioned, 1u);
+}
+
+TEST(Network, BytesSentCountsBlockedAndDroppedTraffic) {
+  // bytes_sent counts every offered datagram, delivered or not, so the
+  // byte overhead of partitions and loss is bytes_sent - bytes_delivered.
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel::constant(1);
+  TestNet t(2, cfg);
+  t.net.partition({{0}, {1}});
+  t.net.send(0, 1, payload(9));  // 1 byte into the cut
+  t.sim.run_for(10);
+  EXPECT_EQ(t.net.stats().bytes_sent, 1u);
+  EXPECT_EQ(t.net.stats().bytes_delivered, 0u);
+  t.net.heal();
+  t.net.send(0, 1, util::Bytes{1, 2, 3});
+  t.sim.run_for(10);
+  EXPECT_EQ(t.net.stats().bytes_sent, 4u);
+  EXPECT_EQ(t.net.stats().bytes_delivered, 3u);
 }
 
 TEST(Network, HealRestoresConnectivity) {

@@ -21,7 +21,7 @@ using sim::kSecond;
 util::Bytes bytes_of(const std::string& s) {
   return util::Bytes(s.begin(), s.end());
 }
-std::string string_of(const util::Bytes& b) {
+std::string string_of(std::span<const std::uint8_t> b) {
   return std::string(b.begin(), b.end());
 }
 
@@ -38,8 +38,9 @@ struct Rig {
     net = std::make_unique<sim::Network>(sim, cfg, util::Rng(7));
     inbox.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      net->add_node([this, i](sim::NodeId from, const util::Bytes& data) {
-        routers[i]->on_datagram(from, data, sim.now());
+      net->add_node([this, i](sim::NodeId from, util::SharedBytes data) {
+        routers[i]->on_datagram(from, util::BytesView(std::move(data)),
+                                sim.now());
       });
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -48,7 +49,7 @@ struct Rig {
           [this, i](PeerId to, util::Bytes data) {
             net->send(static_cast<sim::NodeId>(i), to, std::move(data));
           },
-          [this, i](PeerId from, util::Bytes payload) {
+          [this, i](PeerId from, util::BytesView payload) {
             inbox[i].emplace_back(from, string_of(payload));
           }));
       schedule_tick(i);
