@@ -42,6 +42,24 @@ std::uint64_t total_batched_payloads(SimWorld& w) {
   return total;
 }
 
+std::uint64_t total_acks(SimWorld& w) {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    total += w.process(static_cast<ProcessId>(p)).router().total_stats()
+                 .acks_sent;
+  }
+  return total;
+}
+
+std::uint64_t total_acks_suppressed(SimWorld& w) {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    total += w.process(static_cast<ProcessId>(p)).router().total_stats()
+                 .acks_suppressed;
+  }
+  return total;
+}
+
 void run_batching_bench(benchmark::State& state, OrderMode mode) {
   const auto max_batch = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kMembers = 8;
@@ -49,8 +67,10 @@ void run_batching_bench(benchmark::State& state, OrderMode mode) {
   constexpr int kRounds = 12;
 
   double datagrams_per_msg = 0;
+  double acks_per_msg = 0;
   double msgs_per_sec = 0;
   double batched = 0;
+  double suppressed = 0;
   for (auto _ : state) {
     WorldConfig cfg = default_world(kMembers);
     cfg.host.channel.max_batch = max_batch;
@@ -62,6 +82,8 @@ void run_batching_bench(benchmark::State& state, OrderMode mode) {
     w.run_for(500 * kMillisecond);  // settle: formation-free warmup
 
     const std::uint64_t datagrams_before = total_datagrams(w);
+    const std::uint64_t acks_before = total_acks(w);
+    const std::uint64_t suppressed_before = total_acks_suppressed(w);
     const sim::Time t0 = w.now();
     const std::size_t expect =
         static_cast<std::size_t>(kRounds) * kBurst * kMembers;
@@ -95,13 +117,27 @@ void run_batching_bench(benchmark::State& state, OrderMode mode) {
     datagrams_per_msg =
         static_cast<double>(total_datagrams(w) - datagrams_before) /
         static_cast<double>(expect);
+    acks_per_msg = static_cast<double>(total_acks(w) - acks_before) /
+                   static_cast<double>(expect);
     msgs_per_sec = static_cast<double>(expect) / virtual_s;
     batched = static_cast<double>(total_batched_payloads(w));
+    suppressed =
+        static_cast<double>(total_acks_suppressed(w) - suppressed_before);
   }
   state.counters["max_batch"] = static_cast<double>(max_batch);
   state.counters["msgs_per_sec"] = msgs_per_sec;
   state.counters["datagrams_per_msg"] = datagrams_per_msg;
+  state.counters["acks_per_msg"] = acks_per_msg;
+  state.counters["acks_suppressed"] = suppressed;
   state.counters["batched_payloads"] = batched;
+  emit_bench_json(
+      std::string("batching/") +
+          (mode == OrderMode::kSymmetric ? "sym" : "asym") + "/batch" +
+          std::to_string(max_batch),
+      {{"datagrams_per_msg", datagrams_per_msg},
+       {"acks_per_msg", acks_per_msg},
+       {"acks_suppressed", suppressed},
+       {"msgs_per_sec", msgs_per_sec}});
 }
 
 void BM_BatchingSymmetric(benchmark::State& state) {

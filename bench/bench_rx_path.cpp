@@ -75,18 +75,27 @@ using namespace newtop::benchutil;
 
 // The bursty 8-member symmetric workload of bench_batching (batch 8):
 // every member submits kBurst multicasts at the same instant, kRounds
-// times; measure the allocation delta from first submit to full delivery.
-void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode) {
+// times. Steady-state measurement: kWarmRounds identical rounds prime
+// the buffer pool and node freelists first, then the allocation delta of
+// the measured rounds is divided by their deliveries. Also samples the
+// retention byte accounting (worst pinned/used ratio seen after any
+// round) and reports the pool hit rate over the measured window.
+void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode,
+                         bool pool_enabled) {
   const auto max_batch = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kMembers = 8;
   constexpr int kBurst = 8;
+  constexpr int kWarmRounds = 4;
   constexpr int kRounds = 8;
 
   double allocs_per_delivery = 0;
   double bytes_per_delivery = 0;
+  double pool_hit_rate = 0;
+  double pinned_per_retained = 0;
   for (auto _ : state) {
     WorldConfig cfg = default_world(kMembers);
     cfg.host.channel.max_batch = max_batch;
+    cfg.pool.enabled = pool_enabled;
     SimWorld w(cfg);
     const auto members = all_members(kMembers);
     GroupOptions opts;
@@ -94,59 +103,127 @@ void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode) {
     w.create_group(1, members, opts);
     w.run_for(500 * kMillisecond);  // settle
 
-    const std::size_t expect =
-        static_cast<std::size_t>(kRounds) * kBurst * kMembers;
-    const AllocSnapshot before = AllocSnapshot::take();
-    for (int r = 0; r < kRounds; ++r) {
-      for (ProcessId p : members) {
-        for (int b = 0; b < kBurst; ++b) {
-          w.multicast(p, 1,
-                      "r" + std::to_string(r) + "p" + std::to_string(p) +
-                          "b" + std::to_string(b));
+    // Allocation-free delivery counting (the predicate runs inside the
+    // measured window; building strings there would pollute the metric).
+    auto delivered = [&](ProcessId p) {
+      std::size_t n = 0;
+      for (const auto& r : w.process(p).deliveries) {
+        if (r.delivery.group == 1) ++n;
+      }
+      return n;
+    };
+    // `sample` collects the retention byte accounting after each round;
+    // only enabled for the warmup rounds — retention_stats itself
+    // allocates (dedup set), which must not pollute the measured
+    // allocation window.
+    auto run_rounds = [&](const char* tag, int rounds, bool sample) {
+      for (int r = 0; r < rounds; ++r) {
+        for (ProcessId p : members) {
+          for (int b = 0; b < kBurst; ++b) {
+            w.multicast(p, 1,
+                        tag + std::to_string(r) + "p" + std::to_string(p) +
+                            "b" + std::to_string(b));
+          }
+        }
+        w.run_for(40 * kMillisecond);
+        if (!sample) continue;
+        // Retention accounting sample, while retention is loaded: sum
+        // pinned/used over all members, track the worst ratio.
+        std::size_t used = 0, pinned = 0;
+        for (ProcessId p : members) {
+          const RetentionStats rs = w.process(p).endpoint().retention_stats(1);
+          used += rs.used_bytes;
+          pinned += rs.pinned_bytes;
+        }
+        if (used > 0) {
+          pinned_per_retained = std::max(
+              pinned_per_retained,
+              static_cast<double>(pinned) / static_cast<double>(used));
         }
       }
-      w.run_for(40 * kMillisecond);
+    };
+
+    run_rounds("w", kWarmRounds, /*sample=*/true);  // prime pools + freelists
+    const std::size_t warm_expect =
+        static_cast<std::size_t>(kWarmRounds) * kBurst * kMembers;
+    if (!w.run_until_pred(
+            [&] {
+              for (ProcessId p : members) {
+                if (delivered(p) < warm_expect) return false;
+              }
+              return true;
+            },
+            w.now() + 120 * kSecond)) {
+      state.SkipWithError("warmup did not fully deliver");
+      return;
     }
+    w.run_for(500 * kMillisecond);  // let stability drain retention
+
+    const std::size_t expect =
+        warm_expect + static_cast<std::size_t>(kRounds) * kBurst * kMembers;
+    const AllocSnapshot before = AllocSnapshot::take();
+    const util::BufferPoolStats pool_before = w.pool()->stats();
+    run_rounds("r", kRounds, /*sample=*/false);
     const bool ok = w.run_until_pred(
         [&] {
           for (ProcessId p : members) {
-            if (w.process(p).delivered_strings(1).size() < expect)
-              return false;
+            if (delivered(p) < expect) return false;
           }
           return true;
         },
         w.now() + 120 * kSecond);
     const AllocSnapshot after = AllocSnapshot::take();
+    const util::BufferPoolStats pool_after = w.pool()->stats();
     if (!ok) {
       state.SkipWithError("burst did not fully deliver");
       return;
     }
-    // Deliveries across all members: each of `expect` messages delivered
+    // Deliveries across all members: each measured message delivered
     // once per member.
-    const double deliveries = static_cast<double>(expect * kMembers);
+    const double deliveries =
+        static_cast<double>(kRounds) * kBurst * kMembers * kMembers;
     allocs_per_delivery =
         static_cast<double>(after.allocs - before.allocs) / deliveries;
     bytes_per_delivery =
         static_cast<double>(after.bytes - before.bytes) / deliveries;
+    const double acquires =
+        static_cast<double>(pool_after.acquires - pool_before.acquires);
+    pool_hit_rate =
+        acquires > 0
+            ? static_cast<double>(pool_after.acquire_hits -
+                                  pool_before.acquire_hits) /
+                  acquires
+            : 0;
   }
   state.counters["allocs_per_delivery"] = allocs_per_delivery;
   state.counters["bytes_per_delivery"] = bytes_per_delivery;
+  state.counters["pool_hit_rate"] = pool_hit_rate;
+  state.counters["pinned_bytes_per_retained_byte"] = pinned_per_retained;
   emit_bench_json(
       std::string("rx_delivery_allocs/") +
-          (mode == OrderMode::kSymmetric ? "sym" : "asym") + "/batch" +
+          (mode == OrderMode::kSymmetric ? "sym" : "asym") +
+          (pool_enabled ? "" : "_nopool") + "/batch" +
           std::to_string(max_batch),
       {{"allocs_per_delivery", allocs_per_delivery},
-       {"bytes_per_delivery", bytes_per_delivery}});
+       {"bytes_per_delivery", bytes_per_delivery},
+       {"pool_hit_rate", pool_hit_rate},
+       {"pinned_bytes_per_retained_byte", pinned_per_retained}});
 }
 
 void BM_RxDeliveryAllocsSymmetric(benchmark::State& state) {
-  BM_RxDeliveryAllocs(state, OrderMode::kSymmetric);
+  BM_RxDeliveryAllocs(state, OrderMode::kSymmetric, /*pool_enabled=*/true);
 }
 BENCHMARK(BM_RxDeliveryAllocsSymmetric)->Arg(1)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_RxDeliveryAllocsSymmetricNoPool(benchmark::State& state) {
+  BM_RxDeliveryAllocs(state, OrderMode::kSymmetric, /*pool_enabled=*/false);
+}
+BENCHMARK(BM_RxDeliveryAllocsSymmetricNoPool)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RxDeliveryAllocsAsymmetric(benchmark::State& state) {
-  BM_RxDeliveryAllocs(state, OrderMode::kAsymmetric);
+  BM_RxDeliveryAllocs(state, OrderMode::kAsymmetric, /*pool_enabled=*/true);
 }
 BENCHMARK(BM_RxDeliveryAllocsAsymmetric)->Arg(8)
     ->Unit(benchmark::kMillisecond);

@@ -37,6 +37,13 @@ struct Config {
   // §6 signature-view variant: views carry (process, exclusion-count)
   // signatures, making concurrent subgroup views never intersect.
   bool signature_views = false;
+
+  // Retention compaction: a retained/held/queued slice whose backing
+  // buffer is more than this factor larger than the slice itself is
+  // copied into a right-sized buffer on the next tick, releasing the
+  // (possibly multi-KB) datagram it would otherwise pin until stability.
+  // <= 0 disables compaction.
+  double retention_compact_ratio = 2.0;
 };
 
 }  // namespace newtop

@@ -133,11 +133,11 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
         NEWTOP_LOG_WARN("P%u: dropping nested batch from P%u", self_, from);
         break;
       }
-      if (auto b = BatchFrame::decode(data)) {
-        for (const auto& sub : b->payloads) {
-          dispatch_message(from, sub, now, /*allow_batch=*/false);
-        }
-      }
+      // Streamed unwrap: validate-then-dispatch without materialising
+      // the payload vector (one less allocation per batch datagram).
+      BatchFrame::for_each_payload(data, [&](util::BytesView sub) {
+        dispatch_message(from, sub, now, /*allow_batch=*/false);
+      });
       break;
     }
     case MsgType::kSuspect: {
@@ -168,7 +168,10 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
 void Endpoint::on_tick(Time now) {
   Reentrancy scope(*this);
   // Iterate over a snapshot of ids: handlers may mutate the group map.
-  std::vector<GroupId> ids;
+  // (Scratch steal/return: the snapshot reuses one vector's capacity
+  // across ticks instead of allocating every 5ms.)
+  std::vector<GroupId> ids = std::move(tick_ids_scratch_);
+  ids.clear();
   ids.reserve(groups_.size());
   for (const auto& [g, gs] : groups_) ids.push_back(g);
   for (GroupId g : ids) {
@@ -197,7 +200,12 @@ void Endpoint::on_tick(Time now) {
     });
     it = replies.empty() ? early_replies_.erase(it) : std::next(it);
   }
+  // Anything still retained/held/queued now has survived at least one
+  // tick: long-lived enough to be worth copying out of an oversized
+  // backing buffer.
+  compact_retention();
   pump_sends(now);
+  tick_ids_scratch_ = std::move(ids);
 }
 
 // ---------------------------------------------------------------------
@@ -258,6 +266,47 @@ std::size_t Endpoint::retained_messages(GroupId g) const {
   return n;
 }
 
+RetentionStats Endpoint::retention_stats(GroupId g) const {
+  RetentionStats out;
+  const GroupState* gs = find_group(g);
+  if (gs == nullptr) return out;
+  // Distinct backing allocations: many slices (of one BatchFrame, say)
+  // pin one buffer — count it once.
+  std::set<const util::Bytes*> seen;
+  auto note = [&](const util::BytesView& v) {
+    out.used_bytes += v.size();
+    const util::SharedBytes& buf = v.buffer();
+    if (buf != nullptr && seen.insert(buf.get()).second) {
+      out.pinned_bytes += buf->size();
+    }
+  };
+  auto note_msg = [&](const OrderedMsg& m) {
+    note(m.raw);
+    if (m.payload.buffer() != nullptr &&
+        m.payload.buffer() != m.raw.buffer()) {
+      note(m.payload);
+    }
+  };
+  for (const auto& [p, msgs] : gs->retained) {
+    for (const auto& [c, v] : msgs) {
+      ++out.retained_msgs;
+      note(v);
+    }
+  }
+  for (const auto& [p, held] : gs->gv.pending) {
+    for (const auto& m : held) {
+      ++out.held_msgs;
+      note_msg(m);
+    }
+  }
+  for (const auto& [key, m] : queue_) {
+    if (key.group != g) continue;
+    ++out.queued_msgs;
+    note_msg(m);
+  }
+  return out;
+}
+
 bool Endpoint::suspects(GroupId g, ProcessId p) const {
   const GroupState* gs = find_group(g);
   if (gs == nullptr) return false;
@@ -282,6 +331,14 @@ Counter Endpoint::ldn(const GroupCtx& g) const {
 
 void Endpoint::unicast(ProcessId to, util::SharedBytes raw) {
   hooks_.send(to, std::move(raw));
+}
+
+util::Bytes Endpoint::obtain_buffer(std::size_t reserve) {
+  return util::BufferPool::acquire_from(hooks_.buffer_pool, reserve);
+}
+
+util::SharedBytes Endpoint::share_buffer(util::Bytes b) {
+  return util::BufferPool::share_into(hooks_.buffer_pool, std::move(b));
 }
 
 void Endpoint::fan_out(const GroupCtx& g, const util::SharedBytes& raw) {
@@ -341,13 +398,19 @@ void Endpoint::emit_ordered(GroupState& gs, MsgType type,
   m.counter = c;
   m.origin_counter = 0;
   m.ldn = group_d(gs);  // §5.1 stability piggyback
-  m.payload = std::move(payload);
+  // Pool the payload's shared wrapper too (empty payloads — nulls,
+  // leaves — need no buffer at all).
+  if (!payload.empty()) {
+    m.payload = util::BytesView(share_buffer(std::move(payload)));
+  }
   gs.last_sent = now;
   if (type == MsgType::kApp) ++stats_.app_multicasts;
   if (type == MsgType::kNull) ++stats_.nulls_sent;
-  // Encode once; the same buffer fans out to every peer and, via m.raw,
-  // backs the local loop-back's retention/recovery slice.
-  const util::SharedBytes enc = util::share(m.encode());
+  // Encode once (into recycled storage when the host provides a pool);
+  // the same buffer fans out to every peer and, via m.raw, backs the
+  // local loop-back's retention/recovery slice.
+  const util::SharedBytes enc =
+      share_buffer(m.encode(obtain_buffer(m.payload.size() + 24)));
   m.raw = enc;
   fan_out(gs, enc);
   // "Pi delivers its own messages also by executing the protocol" §3.
@@ -531,6 +594,97 @@ void Endpoint::pump_sends(Time now) {
     pending_sends_.pop_front();
     gs->plane->submit_app(*gs, std::move(payload), now);
   }
+}
+
+// ---------------------------------------------------------------------
+// Retention compaction
+//
+// Retained slices reference their arrival datagram's single allocation —
+// free at receive time, but a liability once the slice is long-lived: a
+// small sub-message keeps its whole (possibly multi-KB) BatchFrame alive
+// until stability discards it. The per-tick compaction pass copies any
+// slice whose backing buffer exceeds retention_compact_ratio x its own
+// size into a right-sized (pooled) buffer, bounding pinned bytes to a
+// constant factor of the bytes actually referenced.
+// ---------------------------------------------------------------------
+
+bool Endpoint::should_compact(const util::BytesView& v,
+                              long own_refs) const {
+  if (cfg_.retention_compact_ratio <= 0) return false;
+  const util::SharedBytes& buf = v.buffer();
+  if (buf == nullptr || v.empty()) return false;
+  // Copying a slice only frees memory if nothing else references the
+  // backing buffer — while siblings (other retained slices of the same
+  // BatchFrame, an undelivered queue entry, the application's own view)
+  // hold it, a copy would *grow* the footprint. `own_refs` is how many
+  // references the caller itself holds (1 for a lone retained slice, 2
+  // for a message's nested raw+payload pair); use_count above that means
+  // someone else still needs the buffer. Racing decrements on other
+  // threads only delay compaction by one tick (conservative direction).
+  if (buf.use_count() > own_refs) return false;
+  return static_cast<double>(buf->size()) >
+         cfg_.retention_compact_ratio * static_cast<double>(v.size());
+}
+
+util::BytesView Endpoint::compact_view(const util::BytesView& v) {
+  ++stats_.retention_compactions;
+  util::Bytes b = obtain_buffer(v.size());
+  b.assign(v.begin(), v.end());
+  return util::BytesView(share_buffer(std::move(b)));
+}
+
+void Endpoint::compact_msg(OrderedMsg& m) {
+  // payload is (normally) a sub-slice of raw; preserve the sharing so
+  // the compacted message still pins exactly one buffer.
+  const bool nested =
+      m.payload.buffer() != nullptr && m.payload.buffer() == m.raw.buffer();
+  if (should_compact(m.raw, nested ? 2 : 1)) {
+    const std::size_t off =
+        nested ? static_cast<std::size_t>(m.payload.data() - m.raw.data()) : 0;
+    m.raw = compact_view(m.raw);
+    if (nested) m.payload = m.raw.subview(off, m.payload.size());
+  }
+  if (m.payload.buffer() != m.raw.buffer() && should_compact(m.payload, 1)) {
+    m.payload = compact_view(m.payload);
+  }
+}
+
+void Endpoint::compact_retention() {
+  if (cfg_.retention_compact_ratio <= 0) return;
+  for (auto& [gid, gs] : groups_) {
+    if (gs.defunct) continue;
+    for (auto& [p, msgs] : gs.retained) {
+      // Sibling slices of one BatchFrame sit at consecutive counters of
+      // the same emitter, i.e. adjacent in this map. Handle each such
+      // run as a unit: if the run's slices hold ALL references to the
+      // backing buffer (use_count == run length) and together use less
+      // than 1/ratio of it, compacting the whole run frees the buffer —
+      // something the per-slice gate alone can never conclude once two
+      // siblings remain.
+      for (auto it = msgs.begin(); it != msgs.end();) {
+        const util::SharedBytes& buf = it->second.buffer();
+        auto run_end = it;
+        long run = 0;
+        std::size_t used = 0;
+        while (run_end != msgs.end() && run_end->second.buffer() == buf) {
+          used += run_end->second.size();
+          ++run;
+          ++run_end;
+        }
+        if (buf != nullptr && used > 0 && buf.use_count() <= run &&
+            static_cast<double>(buf->size()) >
+                cfg_.retention_compact_ratio * static_cast<double>(used)) {
+          for (; it != run_end; ++it) it->second = compact_view(it->second);
+        } else {
+          it = run_end;
+        }
+      }
+    }
+    for (auto& [p, held] : gs.gv.pending) {
+      for (auto& m : held) compact_msg(m);
+    }
+  }
+  for (auto& [key, m] : queue_) compact_msg(m);
 }
 
 void Endpoint::advance_stability(GroupState& gs) {

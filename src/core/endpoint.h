@@ -34,6 +34,7 @@
 #include "core/types.h"
 #include "core/wire.h"
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 #include "util/codec.h"
 
 namespace newtop {
@@ -69,6 +70,25 @@ struct EndpointHooks {
   std::function<void(GroupId, FormationOutcome)> formation_result;
   // Vote on an invitation to form a group (§5.3 step 2). Default: yes.
   std::function<bool(const FormInviteMsg&)> accept_invite;
+  // Optional host-provided buffer pool. Retention compaction draws its
+  // right-sized replacement buffers from it; absent, compaction falls
+  // back to plain allocations.
+  util::BufferPoolPtr buffer_pool;
+};
+
+// Byte accounting for everything the engine retains past a message's
+// handling: recovery retention, suspicion-held messages and the delivery
+// queue. `used` is the bytes the slices actually reference; `pinned` is
+// the total size of the distinct backing allocations those slices keep
+// alive. pinned >> used is the memory-bloat signature retention
+// compaction exists to fix (a 10-byte sub-message pinning its multi-KB
+// BatchFrame until stability).
+struct RetentionStats {
+  std::size_t retained_msgs = 0;  // recovery retention entries
+  std::size_t held_msgs = 0;      // suspicion-held messages
+  std::size_t queued_msgs = 0;    // delivery-queue entries
+  std::size_t used_bytes = 0;
+  std::size_t pinned_bytes = 0;
 };
 
 class Endpoint : private PlaneHost {
@@ -141,6 +161,7 @@ class Endpoint : private PlaneHost {
   std::size_t queued_deliveries() const { return queue_.size(); }
   std::size_t queued_sends() const { return pending_sends_.size(); }
   std::size_t retained_messages(GroupId g) const;
+  RetentionStats retention_stats(GroupId g) const;
   std::size_t own_unstable(GroupId g) const;
   // True while this endpoint holds an own (suspector-confirmed) suspicion
   // of p in group g.
@@ -247,6 +268,8 @@ class Endpoint : private PlaneHost {
   Counter ldn(const GroupCtx& g) const override;
   void unicast(ProcessId to, util::SharedBytes raw) override;
   void fan_out(const GroupCtx& g, const util::SharedBytes& raw) override;
+  util::Bytes obtain_buffer(std::size_t reserve) override;
+  util::SharedBytes share_buffer(util::Bytes b) override;
   void loop_back(const OrderedMsg& m, Time now) override;
   void multicast_self(GroupCtx& g, MsgType type, util::Bytes payload,
                       Time now) override;
@@ -268,6 +291,12 @@ class Endpoint : private PlaneHost {
   bool send_eligible(const GroupState& gs) const;
   void deliver_app(const GroupState& gs, const OrderedMsg& msg);
   void advance_stability(GroupState& gs);
+
+  // ---- Retention compaction (tentpole: bound pinned bytes) ------------
+  bool should_compact(const util::BytesView& v, long own_refs) const;
+  util::BytesView compact_view(const util::BytesView& v);
+  void compact_msg(OrderedMsg& m);
+  void compact_retention();
 
   // ---- Membership service (endpoint_membership.cpp) -------------------
   void tick_suspector(GroupState& gs, Time now);
@@ -305,7 +334,11 @@ class Endpoint : private PlaneHost {
   EndpointHooks hooks_;
   LamportClock lc_;
   std::map<GroupId, GroupState> groups_;
-  std::map<QueueKey, OrderedMsg> queue_;
+  // Node-pooled: one insert + one erase per queued message (the hot
+  // path); erased nodes recycle instead of hitting the allocator.
+  std::map<QueueKey, OrderedMsg, std::less<QueueKey>,
+           util::PoolingNodeAllocator<std::pair<const QueueKey, OrderedMsg>>>
+      queue_;
   std::deque<PendingSend> pending_sends_;
   EndpointStats stats_;
   // Form-group replies can overtake the invite (they travel on different
@@ -320,6 +353,10 @@ class Endpoint : private PlaneHost {
   // invalidation while handlers run.
   std::vector<GroupId> pending_erase_;
   int depth_ = 0;  // re-entrancy depth for deferred erase
+  // Reusable snapshot scratch (steal/return): the per-tick group-id and
+  // member snapshots keep their capacity instead of reallocating.
+  std::vector<GroupId> tick_ids_scratch_;
+  std::vector<ProcessId> suspector_scratch_;
 };
 
 }  // namespace newtop

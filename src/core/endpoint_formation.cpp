@@ -52,7 +52,7 @@ void Endpoint::initiate_group(GroupId g, std::vector<ProcessId> members,
 
   // Step 1: invite every intended member. The initiator's own yes is
   // withheld until the others have all said yes (step 3).
-  const util::SharedBytes raw = util::share(gs.forming->invite.encode());
+  const util::SharedBytes raw = share_buffer(gs.forming->invite.encode());
   for (ProcessId p : members) {
     if (p != self_) hooks_.send(p, raw);
   }
@@ -97,7 +97,7 @@ void Endpoint::handle_form_invite(ProcessId from, const FormInviteMsg& msg,
   reply.group = msg.group;
   reply.voter = self_;
   reply.yes = yes;
-  const util::SharedBytes raw = util::share(reply.encode());
+  const util::SharedBytes raw = share_buffer(reply.encode());
   for (ProcessId p : gs.forming->invite.members) {
     if (p != self_) hooks_.send(p, raw);
   }
@@ -235,7 +235,7 @@ void Endpoint::tick_formation(GroupState& gs, Time now) {
     if (all_others_yes) {
       // Step 3: cast our own yes, diffused like the others'.
       reply.yes = true;
-      const util::SharedBytes raw = util::share(reply.encode());
+      const util::SharedBytes raw = share_buffer(reply.encode());
       for (ProcessId p : f.invite.members) {
         if (p != self_) hooks_.send(p, raw);
       }
@@ -245,7 +245,7 @@ void Endpoint::tick_formation(GroupState& gs, Time now) {
     }
     if (now - f.started_at >= cfg_.formation_timeout) {
       reply.yes = false;  // veto: some member never answered
-      const util::SharedBytes raw = util::share(reply.encode());
+      const util::SharedBytes raw = share_buffer(reply.encode());
       for (ProcessId p : f.invite.members) {
         if (p != self_) hooks_.send(p, raw);
       }

@@ -58,8 +58,10 @@ Counter Endpoint::ln_of(const GroupState& gs, ProcessId p) const {
 void Endpoint::tick_suspector(GroupState& gs, Time now) {
   if (gs.view.members.size() <= 1) return;
   // Snapshot: add_suspicion can cascade all the way to install_view,
-  // which replaces gs.view.members mid-iteration.
-  const std::vector<ProcessId> members = gs.view.members;
+  // which replaces gs.view.members mid-iteration. (Scratch steal/return:
+  // the snapshot reuses one vector's capacity across ticks.)
+  std::vector<ProcessId> members = std::move(suspector_scratch_);
+  members.assign(gs.view.members.begin(), gs.view.members.end());
   for (ProcessId p : members) {
     if (p == self_ || gs.left.count(p) > 0) continue;
     if (!gs.view.contains(p)) continue;  // excluded by an earlier suspicion
@@ -71,9 +73,10 @@ void Endpoint::tick_suspector(GroupState& gs, Time now) {
     }
     if (now - it->second >= cfg_.omega_big) {
       add_suspicion(gs, Suspicion{p, ln_of(gs, p)}, now);
-      if (find_group(gs.id) == nullptr) return;  // group dissolved
+      if (find_group(gs.id) == nullptr) break;  // group dissolved
     }
   }
+  suspector_scratch_ = std::move(members);
 }
 
 void Endpoint::add_suspicion(GroupState& gs, Suspicion s, Time now) {
@@ -92,7 +95,7 @@ void Endpoint::add_suspicion(GroupState& gs, Suspicion s, Time now) {
   SuspectMsg m;
   m.group = gs.id;
   m.suspicion = s;
-  fan_out(gs, util::share(m.encode()));  // step (i)
+  fan_out(gs, share_buffer(m.encode()));  // step (i)
   check_consensus(gs, now);
 }
 
@@ -138,7 +141,7 @@ void Endpoint::refute(GroupState& gs, Suspicion s, Time now) {
   r.suspicion = s;
   r.claimed_last = ln_of(gs, s.process);
   r.recovered = recovery_payload(gs, s.process, s.ln);
-  fan_out(gs, util::share(r.encode()));
+  fan_out(gs, share_buffer(r.encode()));
 }
 
 std::vector<util::BytesView> Endpoint::recovery_payload(const GroupState& gs,
@@ -236,7 +239,7 @@ void Endpoint::check_consensus(GroupState& gs, Time now) {
   ConfirmMsg c;
   c.group = gs.id;
   c.detection = detection;
-  fan_out(gs, util::share(c.encode()));
+  fan_out(gs, share_buffer(c.encode()));
   adopt_wave(gs, std::move(detection), now);
 }
 
@@ -299,7 +302,7 @@ void Endpoint::handle_confirm(ProcessId from, const ConfirmMsg& msg,
   ConfirmMsg rebroadcast;
   rebroadcast.group = gs->id;
   rebroadcast.detection = relevant;
-  fan_out(*gs, util::share(rebroadcast.encode()));
+  fan_out(*gs, share_buffer(rebroadcast.encode()));
   adopt_wave(*gs, std::move(relevant), now);
 }
 

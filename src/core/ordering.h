@@ -28,6 +28,7 @@
 #include "core/types.h"
 #include "core/wire.h"
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 #include "util/codec.h"
 
 namespace newtop {
@@ -52,6 +53,9 @@ struct EndpointStats {
   std::uint64_t sends_flow_blocked = 0;  // flow-control stalls
   std::uint64_t fwds_sent = 0;
   std::uint64_t echoes_sequenced = 0;    // forwards we sequenced for others
+  // Retention compaction: long-lived slices copied out of oversized
+  // backing buffers (see Config::retention_compact_ratio).
+  std::uint64_t retention_compactions = 0;
 };
 
 // The per-group state shared between the endpoint and its ordering plane:
@@ -71,8 +75,14 @@ struct GroupCtx {
   // piggybacking. Each entry is an owned slice of the arrival datagram
   // (OrderedMsg::raw) — retention holds a reference, not a re-encoding.
   // Nulls are not retained (they carry no content and rv-recovery is
-  // handled by the refuter's claimed_last).
-  std::map<ProcessId, std::map<Counter, util::BytesView>> retained;
+  // handled by the refuter's claimed_last). Node-pooled: every message
+  // inserts and (on stability) erases one entry, so steady-state churn
+  // must not hit the heap.
+  using RetainedMap =
+      std::map<Counter, util::BytesView, std::less<Counter>,
+               util::PoolingNodeAllocator<
+                   std::pair<const Counter, util::BytesView>>>;
+  std::map<ProcessId, RetainedMap> retained;
 
   // Liveness bookkeeping.
   Time last_sent = 0;                       // ordered-plane, for ω
@@ -106,6 +116,13 @@ class PlaneHost {
   // keeps a reference instead of copying per peer.
   virtual void unicast(ProcessId to, util::SharedBytes raw) = 0;
   virtual void fan_out(const GroupCtx& g, const util::SharedBytes& raw) = 0;
+
+  // Buffer management (host pool when available): encode scratch with
+  // recycled capacity, and pooled shared-buffer wrapping. Hot emit paths
+  // route their encodes through these so steady-state emission costs no
+  // heap traffic.
+  virtual util::Bytes obtain_buffer(std::size_t reserve) = 0;
+  virtual util::SharedBytes share_buffer(util::Bytes b) = 0;
 
   // Runs an own emission through the receive path ("Pi delivers its own
   // messages also by executing the protocol", §3).

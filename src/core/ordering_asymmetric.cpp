@@ -39,7 +39,8 @@ class AsymmetricPlane final : public OrderingPlane {
       // follow the same procedure, unicasting to itself."
       handle_fwd(g, f, now);
     } else {
-      host_.unicast(seq, util::share(f.encode()));
+      host_.unicast(seq, host_.share_buffer(f.encode(
+          host_.obtain_buffer(f.payload.size() + 16))));
     }
   }
 
@@ -73,7 +74,8 @@ class AsymmetricPlane final : public OrderingPlane {
     // sequencer never copies the application bytes it relays.
     echo.payload = fwd.payload;
     g.last_sent = now;
-    const util::SharedBytes enc = util::share(echo.encode());
+    const util::SharedBytes enc = host_.share_buffer(
+        echo.encode(host_.obtain_buffer(echo.payload.size() + 24)));
     echo.raw = enc;
     host_.fan_out(g, enc);
     host_.loop_back(echo, now);
@@ -180,7 +182,8 @@ class AsymmetricPlane final : public OrderingPlane {
       if (seq == host_.self()) {
         handle_fwd(g, f, now);
       } else {
-        host_.unicast(seq, util::share(f.encode()));
+        host_.unicast(seq, host_.share_buffer(f.encode(
+          host_.obtain_buffer(f.payload.size() + 16))));
       }
     }
   }

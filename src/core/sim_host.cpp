@@ -13,7 +13,8 @@ std::string to_string(std::span<const std::uint8_t> b) {
 }
 
 SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
-                       ProcessId id, const HostConfig& config)
+                       ProcessId id, const HostConfig& config,
+                       util::BufferPoolPtr pool)
     : sim_(simulator), net_(network), id_(id),
       tick_interval_(config.tick_interval) {
   node_ = net_.add_node([this](sim::NodeId from, util::SharedBytes data) {
@@ -21,8 +22,10 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
   });
   NEWTOP_CHECK_MSG(node_ == id_, "process ids must be dense from 0");
 
+  transport::ChannelConfig channel = config.channel;
+  channel.pool = pool;
   router_ = std::make_unique<transport::Router>(
-      id_, config.channel,
+      id_, channel,
       /*send=*/
       [this](transport::PeerId to, util::Bytes data) {
         if (crashed_) return;
@@ -57,6 +60,7 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
   hooks.formation_result = [this](GroupId g, FormationOutcome outcome) {
     formations.push_back(FormationRecord{sim_.now(), g, outcome});
   };
+  hooks.buffer_pool = std::move(pool);
   endpoint_ = std::make_unique<Endpoint>(id_, config.endpoint,
                                          std::move(hooks));
   schedule_tick();
@@ -65,6 +69,11 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
 void SimProcess::on_datagram(sim::NodeId from, util::SharedBytes data) {
   if (crashed_) return;
   router_->on_datagram(from, util::BytesView(std::move(data)), sim_.now());
+  // Flush anything the endpoint emitted in response — those data packets
+  // piggyback (suppress) the ack this datagram deferred. A standalone
+  // ack for a quiet receiver waits out ChannelConfig::ack_delay and goes
+  // with the next router tick instead.
+  schedule_flush();
 }
 
 void SimProcess::schedule_flush() {
@@ -105,11 +114,14 @@ std::vector<std::string> SimProcess::delivered_strings(GroupId g) const {
 
 SimWorld::SimWorld(WorldConfig config)
     : cfg_(std::move(config)), rng_(cfg_.seed) {
-  net_ = std::make_unique<sim::Network>(sim_, cfg_.network, rng_.fork());
+  pool_ = util::BufferPool::create(cfg_.pool);
+  sim::NetworkConfig net_cfg = cfg_.network;
+  net_cfg.pool = pool_;
+  net_ = std::make_unique<sim::Network>(sim_, net_cfg, rng_.fork());
   procs_.reserve(cfg_.processes);
   for (std::size_t i = 0; i < cfg_.processes; ++i) {
     procs_.push_back(std::make_unique<SimProcess>(
-        sim_, *net_, static_cast<ProcessId>(i), cfg_.host));
+        sim_, *net_, static_cast<ProcessId>(i), cfg_.host, pool_));
   }
 }
 

@@ -20,6 +20,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "transport/router.h"
+#include "util/buffer_pool.h"
 
 namespace newtop::simhost {
 
@@ -47,11 +48,14 @@ struct FormationRecord {
 };
 
 // One simulated node: Endpoint + Router bound to a Network node, driven
-// by a periodic tick event.
+// by a periodic tick event. All processes of a world share one
+// BufferPool (the world's), which also backs the Network's datagram
+// buffers: tx encodes and rx datagrams recycle through the same
+// freelists.
 class SimProcess {
  public:
   SimProcess(sim::Simulator& simulator, sim::Network& network, ProcessId id,
-             const HostConfig& config);
+             const HostConfig& config, util::BufferPoolPtr pool);
 
   ProcessId id() const { return id_; }
   Endpoint& endpoint() { return *endpoint_; }
@@ -108,6 +112,9 @@ struct WorldConfig {
   std::uint64_t seed = 42;
   sim::NetworkConfig network;
   HostConfig host;
+  // Buffer pooling (world-wide; enabled by default). Set
+  // pool.enabled = false to fall back to plain heap allocation.
+  util::BufferPoolConfig pool;
 };
 
 class SimWorld {
@@ -116,6 +123,7 @@ class SimWorld {
 
   sim::Simulator& simulator() { return sim_; }
   sim::Network& network() { return *net_; }
+  const util::BufferPoolPtr& pool() const { return pool_; }
   sim::Time now() const { return sim_.now(); }
   std::size_t size() const { return procs_.size(); }
 
@@ -144,6 +152,7 @@ class SimWorld {
   WorldConfig cfg_;
   sim::Simulator sim_;
   util::Rng rng_;
+  util::BufferPoolPtr pool_;
   std::unique_ptr<sim::Network> net_;
   std::vector<std::unique_ptr<SimProcess>> procs_;
 };

@@ -10,8 +10,9 @@ void write_header(util::Writer& w, MsgType type, GroupId group) {
 }
 }  // namespace
 
-util::Bytes OrderedMsg::encode() const {
-  util::Writer w(payload.size() + 24);
+util::Bytes OrderedMsg::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.reserve(payload.size() + 24);
   write_header(w, type, group);
   w.varint(sender);
   w.varint(emitter);
@@ -39,8 +40,9 @@ std::optional<OrderedMsg> OrderedMsg::decode(util::BytesView data) {
   return m;
 }
 
-util::Bytes FwdMsg::encode() const {
-  util::Writer w(payload.size() + 16);
+util::Bytes FwdMsg::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.reserve(payload.size() + 16);
   write_header(w, MsgType::kFwd, group);
   w.varint(origin);
   w.varint(origin_counter);
@@ -194,11 +196,22 @@ util::Bytes BatchFrame::encode() const {
   return std::move(w).take();
 }
 
+std::size_t BatchFrame::encoded_size_bound(
+    const std::vector<util::SharedBytes>& payloads) {
+  std::size_t total = 16;  // type byte + count varint, rounded up
+  for (const auto& p : payloads) total += p->size() + 4;  // 4: len varint
+  return total;
+}
+
 util::Bytes BatchFrame::encode_shared(
     const std::vector<util::SharedBytes>& payloads) {
-  std::size_t total = 16;
-  for (const auto& p : payloads) total += p->size() + 4;
-  util::Writer w(total);
+  return encode_shared(payloads, util::Bytes());
+}
+
+util::Bytes BatchFrame::encode_shared(
+    const std::vector<util::SharedBytes>& payloads, util::Bytes reuse) {
+  util::Writer w(std::move(reuse));
+  w.reserve(encoded_size_bound(payloads));
   w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
   w.varint(payloads.size());
   for (const auto& p : payloads) w.bytes(*p);

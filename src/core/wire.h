@@ -66,7 +66,9 @@ struct OrderedMsg {
   // piggybacking reuse it instead of re-encoding.
   util::BytesView raw;
 
-  util::Bytes encode() const;
+  // `reuse` (optional) provides recycled storage for the encoding
+  // (buffer pooling); its capacity is kept, its contents discarded.
+  util::Bytes encode(util::Bytes reuse = {}) const;
   static std::optional<OrderedMsg> decode(util::BytesView data);
 };
 
@@ -78,7 +80,7 @@ struct FwdMsg {
   util::BytesView payload;  // slice of the arrival datagram; the echo
                             // re-encoding reuses it without copying
 
-  util::Bytes encode() const;
+  util::Bytes encode(util::Bytes reuse = {}) const;
   static std::optional<FwdMsg> decode(util::BytesView data);
 };
 
@@ -159,11 +161,44 @@ struct BatchFrame {
   static constexpr std::size_t kMaxPayloads = 4096;
 
   util::Bytes encode() const;
+  // Upper bound on the encoded frame size for these payloads — the one
+  // place the framing overhead is accounted for; pooled callers size
+  // their acquire() with it.
+  static std::size_t encoded_size_bound(
+      const std::vector<util::SharedBytes>& payloads);
   // Encode-once fan-out path: frames shared payload buffers directly,
-  // without copying them into a BatchFrame first.
+  // without copying them into a BatchFrame first. The second form writes
+  // into recycled storage (buffer pooling) instead of a fresh allocation.
   static util::Bytes encode_shared(
       const std::vector<util::SharedBytes>& payloads);
+  static util::Bytes encode_shared(
+      const std::vector<util::SharedBytes>& payloads, util::Bytes reuse);
   static std::optional<BatchFrame> decode(util::BytesView data);
+
+  // Allocation-free unwrap for the receive hot path: validates the whole
+  // frame first (same acceptance rules as decode — a malformed or nested
+  // frame dispatches nothing), then streams each payload slice to `fn`
+  // without materialising the payload vector. Returns false iff the
+  // frame was rejected.
+  template <typename Fn>
+  static bool for_each_payload(const util::BytesView& data, Fn&& fn) {
+    for (int pass = 0; pass < 2; ++pass) {
+      util::Reader r(data);
+      if (static_cast<MsgType>(r.u8()) != MsgType::kBatch) return false;
+      const std::uint64_t n = r.varint();
+      if (!r.ok() || n > kMaxPayloads) return false;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        util::BytesView p = r.bytes_view();
+        if (!r.ok()) return false;
+        // Nested frames would allow unbounded amplification.
+        if (!p.empty() && static_cast<MsgType>(p[0]) == MsgType::kBatch)
+          return false;
+        if (pass == 1) fn(std::move(p));
+      }
+      if (!r.at_end()) return false;
+    }
+    return true;
+  }
 };
 
 // Peeks at the type byte without a full decode.

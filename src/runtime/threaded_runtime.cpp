@@ -24,8 +24,9 @@ sim::Time steady_now_us() {
 // and application commands; the owner drains it, then ticks the endpoint.
 class ThreadedRuntime::Worker {
  public:
-  Worker(ProcessId id, const RuntimeConfig& cfg, ThreadedRuntime& rt)
-      : id_(id), cfg_(cfg), rt_(rt) {
+  Worker(ProcessId id, const RuntimeConfig& cfg, ThreadedRuntime& rt,
+         util::BufferPoolPtr pool)
+      : id_(id), cfg_(cfg), rt_(rt), pool_(std::move(pool)) {
     EndpointHooks hooks;
     hooks.send = [this](ProcessId to, util::SharedBytes data) {
       // Buffered: flushed (batched per destination) once the owner thread
@@ -42,6 +43,7 @@ class ThreadedRuntime::Worker {
       views_.emplace_back(g, v);
     };
     hooks.formation_result = [](GroupId, FormationOutcome) {};
+    hooks.buffer_pool = pool_;
     endpoint_ = std::make_unique<Endpoint>(id, cfg_.endpoint,
                                            std::move(hooks));
   }
@@ -167,8 +169,12 @@ class ThreadedRuntime::Worker {
           const std::vector<util::SharedBytes> chunk(
               msgs.begin() + static_cast<std::ptrdiff_t>(i),
               msgs.begin() + static_cast<std::ptrdiff_t>(i + n));
+          // Pooled frame: the receiving worker's last slice release
+          // returns the buffer for this worker's next flush.
           rt_.worker(to).enqueue_message(
-              id_, util::share(BatchFrame::encode_shared(chunk)));
+              id_, pool_->share(BatchFrame::encode_shared(
+                       chunk, pool_->acquire(
+                                  BatchFrame::encoded_size_bound(chunk)))));
         }
         i += n;
       }
@@ -179,6 +185,7 @@ class ThreadedRuntime::Worker {
   ProcessId id_;
   RuntimeConfig cfg_;
   ThreadedRuntime& rt_;
+  util::BufferPoolPtr pool_;
   std::unique_ptr<Endpoint> endpoint_;
   std::thread thread_;
   // Owner-thread-only: per-destination sends buffered within a quantum.
@@ -197,10 +204,11 @@ class ThreadedRuntime::Worker {
 
 ThreadedRuntime::ThreadedRuntime(std::size_t processes, RuntimeConfig config)
     : cfg_(config) {
+  pool_ = util::BufferPool::create(cfg_.pool);
   workers_.reserve(processes);
   for (std::size_t i = 0; i < processes; ++i) {
     workers_.push_back(std::make_unique<Worker>(
-        static_cast<ProcessId>(i), cfg_, *this));
+        static_cast<ProcessId>(i), cfg_, *this, pool_));
   }
   // Start only after all workers exist: hooks.send resolves peers eagerly.
   for (auto& w : workers_) w->start();

@@ -21,12 +21,17 @@
 #include "core/config.h"
 #include "core/endpoint.h"
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 
 namespace newtop::runtime {
 
 struct RuntimeConfig {
   Config endpoint;
   sim::Duration tick_interval = 5 * sim::kMillisecond;
+  // Runtime-wide buffer pool (shared by all workers): mailbox BatchFrame
+  // encodes draw from it, and a receiving worker's release recycles the
+  // buffer for the next sender. enabled = false disables pooling.
+  util::BufferPoolConfig pool;
 };
 
 class ThreadedRuntime {
@@ -67,6 +72,7 @@ class ThreadedRuntime {
   Worker& worker(ProcessId p) const { return *workers_.at(p); }
 
   RuntimeConfig cfg_;
+  util::BufferPoolPtr pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -19,6 +20,7 @@
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 #include "util/codec.h"
 #include "util/rng.h"
 
@@ -66,6 +68,9 @@ struct NetworkConfig {
                                                5 * kMillisecond);
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
+  // Optional buffer pool: each datagram's shared buffer (and the storage
+  // of dropped ones) is recycled through it instead of the allocator.
+  util::BufferPoolPtr pool;
 };
 
 struct NetworkStats {
@@ -109,15 +114,20 @@ class Network {
     stats_.bytes_sent += payload.size();
     if (!connected(from, to)) {
       ++stats_.datagrams_partitioned;
+      recycle(std::move(payload));
       return;
     }
     if (rng_.next_bool(config_.drop_probability)) {
       ++stats_.datagrams_dropped;
+      recycle(std::move(payload));
       return;
     }
     const bool dup = rng_.next_bool(config_.duplicate_probability);
     // The datagram's one heap allocation: receivers get slices of it.
-    const util::SharedBytes shared = util::share(std::move(payload));
+    // With a pool, the buffer returns to the freelist when the last
+    // downstream slice releases it.
+    const util::SharedBytes shared =
+        util::BufferPool::share_into(config_.pool, std::move(payload));
     deliver_later(from, to, shared);
     if (dup) {
       ++stats_.datagrams_duplicated;
@@ -191,18 +201,52 @@ class Network {
     std::uint32_t component;
   };
 
+  void recycle(util::Bytes payload) {
+    util::BufferPool::release_to(config_.pool, std::move(payload));
+  }
+
+  // An in-flight datagram, parked in a recycled slab slot so the
+  // delivery event captures only {this, index} — small enough for the
+  // std::function inline buffer, i.e. zero heap traffic per datagram.
+  struct Flight {
+    NodeId from = 0;
+    NodeId to = 0;
+    util::SharedBytes payload;
+  };
+
   void deliver_later(NodeId from, NodeId to, util::SharedBytes payload) {
     const auto lit = link_latency_.find({from, to});
     const Duration latency = lit != link_latency_.end()
                                  ? lit->second.sample(rng_)
                                  : config_.latency.sample(rng_);
-    sim_.schedule_after(latency, [this, from, to,
-                                  payload = std::move(payload)] {
-      if (nodes_[to].down) return;
-      ++stats_.datagrams_delivered;
-      stats_.bytes_delivered += payload->size();
-      nodes_[to].deliver(from, payload);
-    });
+    std::uint32_t fi;
+    if (!free_flights_.empty()) {
+      fi = free_flights_.back();
+      free_flights_.pop_back();
+    } else {
+      fi = static_cast<std::uint32_t>(flights_.size());
+      flights_.emplace_back();
+    }
+    Flight& f = flights_[fi];
+    f.from = from;
+    f.to = to;
+    f.payload = std::move(payload);
+    sim_.schedule_after(latency, [this, fi] { deliver_flight(fi); });
+  }
+
+  void deliver_flight(std::uint32_t fi) {
+    // Drain the slot before delivering: the callback may re-enter send()
+    // and reuse it.
+    Flight& f = flights_[fi];
+    const NodeId from = f.from;
+    const NodeId to = f.to;
+    const util::SharedBytes payload = std::move(f.payload);
+    f.payload = nullptr;
+    free_flights_.push_back(fi);
+    if (nodes_[to].down) return;
+    ++stats_.datagrams_delivered;
+    stats_.bytes_delivered += payload->size();
+    nodes_[to].deliver(from, payload);
   }
 
   Simulator& sim_;
@@ -211,6 +255,11 @@ class Network {
   std::vector<Node> nodes_;
   std::set<std::pair<NodeId, NodeId>> link_down_;
   std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
+  // In-flight datagram slab + freelist (deque: stable references while
+  // growing). Owned here, so pending flights are released with the
+  // Network even if their delivery events never run.
+  std::deque<Flight> flights_;
+  std::vector<std::uint32_t> free_flights_;
   NetworkStats stats_;
 };
 

@@ -13,13 +13,16 @@
 // is the membership service's job, not the transport's.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
 
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/codec.h"
+#include "util/logging.h"
 
 namespace newtop::transport {
 
@@ -29,18 +32,35 @@ using sim::Time;
 struct ChannelConfig {
   std::size_t window = 64;           // max in-flight unacked packets
   Duration rto = 20 * sim::kMillisecond;  // retransmission timeout
+  // Per-packet RTO backoff: each retransmission of a packet multiplies
+  // its timeout by this factor (capped at rto_max), so a congested or
+  // partitioned path sees geometrically fewer retransmissions instead of
+  // a full-window burst every rto. 1.0 restores the flat-RTO behaviour.
+  double rto_backoff = 2.0;
+  Duration rto_max = 8 * 20 * sim::kMillisecond;
+  // Delayed cumulative acks: an ack owed to a peer may wait this long
+  // for an outgoing data packet to piggyback it, or for more data to
+  // arrive and share one cumulative ack (a burst of n datagrams then
+  // costs one kAck, not n). Must stay well below rto or the sender
+  // retransmits spuriously. 0 acks at the next flush/tick boundary.
+  Duration ack_delay = 3 * sim::kMillisecond;
   std::size_t max_reorder = 4096;    // receiver out-of-order buffer cap
   // Router batching: payloads buffered per peer between flushes are
   // coalesced into one BatchFrame datagram, at most this many per frame.
   // <= 1 disables batching (send_buffered degenerates to send).
   std::size_t max_batch = 16;
+  // Optional buffer pool: packet encodes draw their storage from it
+  // instead of the allocator (hosts share one pool per process).
+  util::BufferPoolPtr pool;
 };
 
 struct ChannelStats {
   std::uint64_t packets_sent = 0;          // first transmissions
   std::uint64_t retransmissions = 0;
-  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_sent = 0;             // standalone kAck datagrams
+  std::uint64_t acks_suppressed = 0;       // piggybacked on outgoing data
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t reorder_dropped = 0;       // overflow of the reorder buffer
   std::uint64_t delivered = 0;
   std::uint64_t batches_sent = 0;          // BatchFrames flushed
   std::uint64_t batched_payloads = 0;      // payloads carried inside them
@@ -62,7 +82,8 @@ class ChannelSender {
   void send(util::SharedBytes payload, Time now,
             std::vector<util::Bytes>& out_packets,
             std::uint64_t piggyback_ack) {
-    queue_.push_back(Pending{next_seq_++, std::move(payload), kNotSent});
+    queue_.push_back(
+        Pending{next_seq_++, std::move(payload), kNotSent, config_.rto});
     pump(now, out_packets, piggyback_ack);
   }
   void send(util::Bytes payload, Time now,
@@ -84,14 +105,17 @@ class ChannelSender {
     pump(now, out_packets, piggyback_ack);
   }
 
-  // Retransmits packets whose RTO expired.
+  // Retransmits packets whose RTO expired. Each retransmission backs the
+  // packet's own timeout off (capped), so sustained loss provokes
+  // geometrically less repair traffic, not a window-sized burst per rto.
   void tick(Time now, std::vector<util::Bytes>& out_packets,
             std::uint64_t piggyback_ack, ChannelStats& stats) {
     std::size_t considered = 0;
     for (auto& p : queue_) {
       if (considered++ >= in_flight_) break;  // only in-flight entries
-      if (p.sent_at != kNotSent && now - p.sent_at >= config_.rto) {
+      if (p.sent_at != kNotSent && now - p.sent_at >= p.rto) {
         p.sent_at = now;
+        p.rto = backed_off(p.rto);
         ++stats.retransmissions;
         out_packets.push_back(encode(p, piggyback_ack));
       }
@@ -105,8 +129,7 @@ class ChannelSender {
     Time best = sim::kTimeNever;
     for (const auto& p : queue_) {
       if (considered++ >= in_flight_) break;
-      if (p.sent_at != kNotSent)
-        best = std::min(best, p.sent_at + config_.rto);
+      if (p.sent_at != kNotSent) best = std::min(best, p.sent_at + p.rto);
     }
     (void)now;
     return best;
@@ -134,10 +157,19 @@ class ChannelSender {
     std::uint64_t seq;
     util::SharedBytes payload;
     Time sent_at;  // kNotSent until first transmission
+    Duration rto;  // current per-packet timeout (grows under backoff)
   };
 
+  Duration backed_off(Duration rto) const {
+    if (config_.rto_backoff <= 1.0) return rto;
+    const auto next =
+        static_cast<Duration>(static_cast<double>(rto) * config_.rto_backoff);
+    return std::min(next, std::max(config_.rto_max, config_.rto));
+  }
+
   util::Bytes encode(const Pending& p, std::uint64_t piggyback_ack) const {
-    util::Writer w(p.payload->size() + 16);
+    const std::size_t need = p.payload->size() + 16;
+    util::Writer w(util::BufferPool::acquire_from(config_.pool, need));
     w.u8(static_cast<std::uint8_t>(PacketKind::kData));
     w.varint(p.seq);
     w.varint(piggyback_ack);
@@ -167,12 +199,32 @@ class ChannelReceiver {
                         ChannelStats& stats) {
     if (seq < next_expected_ || buffer_.count(seq) > 0) {
       ++stats.duplicates_dropped;
+    } else if (seq == next_expected_ && buffer_.empty()) {
+      // Fast path (the steady state): in-order packet, nothing buffered —
+      // deliver directly without a map node round-trip.
+      delivered.push_back(std::move(payload));
+      ++next_expected_;
+      ++stats.delivered;
+      return cum_ack();
     } else if (seq == next_expected_ ||
                buffer_.size() < config_.max_reorder) {
       // The in-order packet is always admitted even when the reorder
       // buffer is at capacity — rejecting it would wedge the channel:
       // draining the buffer *requires* this packet.
       buffer_.emplace(seq, std::move(payload));
+    } else {
+      // Out-of-order and the buffer is full: the packet is dropped and
+      // must be retransmitted. Counted (and logged, dampened to powers of
+      // two) so an overflowing channel is diagnosable instead of looking
+      // wedged.
+      ++stats.reorder_dropped;
+      if ((stats.reorder_dropped & (stats.reorder_dropped - 1)) == 0) {
+        NEWTOP_LOG_WARN(
+            "channel: reorder buffer full (%zu), dropped seq %llu "
+            "(%llu drops so far)",
+            buffer_.size(), static_cast<unsigned long long>(seq),
+            static_cast<unsigned long long>(stats.reorder_dropped));
+      }
     }
     while (!buffer_.empty() && buffer_.begin()->first == next_expected_) {
       delivered.push_back(std::move(buffer_.begin()->second));

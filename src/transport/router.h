@@ -80,9 +80,14 @@ class Router {
     if (peer.pending.size() >= config_.max_batch) flush_peer(to, peer, now);
   }
 
-  // Flushes every peer's pending payloads (see send_buffered).
+  // Flushes every peer's pending payloads (see send_buffered) and any
+  // deferred acks the flushed data did not piggyback. Hosts call this at
+  // the idle boundary, once the current input has been fully processed.
   void flush_batches(Time now) {
-    for (auto& [peer_id, peer] : peers_) flush_peer(peer_id, peer, now);
+    for (auto& [peer_id, peer] : peers_) {
+      flush_peer(peer_id, peer, now);
+      flush_ack(peer_id, peer, now);
+    }
   }
 
   // The datagram arrives as an owned view of its one heap allocation
@@ -102,11 +107,24 @@ class Router {
         return;
       }
       handle_ack(peer, from, piggyback, now);
-      std::vector<util::BytesView> ready;
-      const std::uint64_t ack =
-          peer.receiver.on_data(seq, std::move(payload), ready, peer.stats);
-      send_ack(from, ack, peer);
+      // Scratch steal/return: the common case reuses one vector's
+      // capacity across datagrams; a re-entrant call just sees a fresh
+      // empty vector.
+      std::vector<util::BytesView> ready = std::move(rx_scratch_);
+      ready.clear();
+      peer.receiver.on_data(seq, std::move(payload), ready, peer.stats);
+      // Ack deferral: rather than answering every data packet with a
+      // standalone kAck datagram, mark the ack owed. An outgoing data
+      // packet within ack_delay piggybacks it for free; otherwise a
+      // flush/tick past the deadline emits one standalone ack covering
+      // (cumulatively) everything that arrived in the window.
+      if (!peer.ack_pending) {
+        peer.ack_pending = true;
+        peer.ack_due = now + config_.ack_delay;
+      }
       for (auto& p : ready) deliver_(from, std::move(p));
+      ready.clear();  // drop the moved-from views' references
+      rx_scratch_ = std::move(ready);
     } else if (kind == PacketKind::kAck) {
       const std::uint64_t cum = r.varint();
       if (!r.ok()) return;
@@ -116,12 +134,17 @@ class Router {
     }
   }
 
-  // Drives retransmission; call at least every rto/2.
+  // Drives retransmission; call at least every rto/2. Also the backstop
+  // for deferred acks on hosts without a flush-on-idle discipline.
   void tick(Time now) {
     for (auto& [peer_id, peer] : peers_) {
-      std::vector<util::Bytes> packets;
+      std::vector<util::Bytes> packets = std::move(tx_scratch_);
+      packets.clear();
       peer.sender.tick(now, packets, peer.receiver.cum_ack(), peer.stats);
+      note_data_sent(peer, packets);
       transmit(peer_id, packets);
+      tx_scratch_ = std::move(packets);
+      flush_ack(peer_id, peer, now);
     }
   }
 
@@ -145,7 +168,9 @@ class Router {
       total.packets_sent += peer.stats.packets_sent;
       total.retransmissions += peer.stats.retransmissions;
       total.acks_sent += peer.stats.acks_sent;
+      total.acks_suppressed += peer.stats.acks_suppressed;
       total.duplicates_dropped += peer.stats.duplicates_dropped;
+      total.reorder_dropped += peer.stats.reorder_dropped;
       total.delivered += peer.stats.delivered;
       total.batches_sent += peer.stats.batches_sent;
       total.batched_payloads += peer.stats.batched_payloads;
@@ -162,15 +187,23 @@ class Router {
     ChannelStats stats;
     // Payloads queued by send_buffered since the last flush.
     std::vector<util::SharedBytes> pending;
+    // An ack is owed for received data; cleared when an outgoing data
+    // packet piggybacks it or a standalone kAck is flushed (not before
+    // ack_due — waiting lets one cumulative ack cover a whole burst).
+    bool ack_pending = false;
+    Time ack_due = 0;
   };
 
   void channel_send(PeerId to, Peer& peer, util::SharedBytes payload,
                     Time now) {
-    std::vector<util::Bytes> packets;
+    std::vector<util::Bytes> packets = std::move(tx_scratch_);
+    packets.clear();
     peer.sender.send(std::move(payload), now, packets,
                      peer.receiver.cum_ack());
     peer.stats.packets_sent += packets.size();
+    note_data_sent(peer, packets);
     transmit(to, packets);
+    tx_scratch_ = std::move(packets);
   }
 
   void flush_peer(PeerId to, Peer& peer, Time now) {
@@ -181,11 +214,35 @@ class Router {
     } else {
       peer.stats.batches_sent += 1;
       peer.stats.batched_payloads += peer.pending.size();
-      channel_send(to, peer,
-                   util::share(newtop::BatchFrame::encode_shared(peer.pending)),
-                   now);
+      channel_send(to, peer, share_frame(peer.pending), now);
     }
     peer.pending.clear();
+  }
+
+  // Encodes a BatchFrame, drawing storage and shared-ownership plumbing
+  // from the pool when one is configured.
+  util::SharedBytes share_frame(const std::vector<util::SharedBytes>& pending) {
+    return util::BufferPool::share_into(
+        config_.pool,
+        newtop::BatchFrame::encode_shared(
+            pending, util::BufferPool::acquire_from(
+                         config_.pool,
+                         newtop::BatchFrame::encoded_size_bound(pending))));
+  }
+
+  // Every data packet carries the current cumulative ack as a piggyback,
+  // so transmitting any data to a peer discharges a deferred ack.
+  void note_data_sent(Peer& peer, const std::vector<util::Bytes>& packets) {
+    if (!packets.empty() && peer.ack_pending) {
+      peer.ack_pending = false;
+      ++peer.stats.acks_suppressed;
+    }
+  }
+
+  void flush_ack(PeerId to, Peer& peer, Time now) {
+    if (!peer.ack_pending || now < peer.ack_due) return;
+    peer.ack_pending = false;
+    send_ack(to, peer.receiver.cum_ack(), peer);
   }
 
   Peer& peers(PeerId id) {
@@ -197,14 +254,17 @@ class Router {
   }
 
   void handle_ack(Peer& peer, PeerId from, std::uint64_t cum, Time now) {
-    std::vector<util::Bytes> packets;
+    std::vector<util::Bytes> packets = std::move(tx_scratch_);
+    packets.clear();
     peer.sender.on_ack(cum, now, packets, peer.receiver.cum_ack());
     peer.stats.packets_sent += packets.size();
+    note_data_sent(peer, packets);
     transmit(from, packets);
+    tx_scratch_ = std::move(packets);
   }
 
   void send_ack(PeerId to, std::uint64_t cum_ack, Peer& peer) {
-    util::Writer w(12);
+    util::Writer w(util::BufferPool::acquire_from(config_.pool, 12));
     w.u8(static_cast<std::uint8_t>(PacketKind::kAck));
     w.varint(cum_ack);
     ++peer.stats.acks_sent;
@@ -220,6 +280,10 @@ class Router {
   SendDatagramFn send_;
   DeliverFn deliver_;
   std::map<PeerId, Peer> peers_;
+  // Reusable scratch (steal/return): per-datagram transient vectors keep
+  // their capacity across calls instead of reallocating each time.
+  std::vector<util::Bytes> tx_scratch_;
+  std::vector<util::BytesView> rx_scratch_;
 };
 
 }  // namespace newtop::transport

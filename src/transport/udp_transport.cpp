@@ -74,6 +74,9 @@ bool UdpSocket::wait_readable(int timeout_ms) {
 
 UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
     : id_(id), cfg_(config), socket_(port) {
+  pool_ = util::BufferPool::create(cfg_.pool);
+  cfg_.channel.pool = pool_;
+  recv_scratch_.reserve(kMaxDatagram);
   router_ = std::make_unique<Router>(
       id_, cfg_.channel,
       /*send=*/
@@ -89,6 +92,8 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
           dest = it->second;
         }
         socket_.send_to(dest, data);
+        // The kernel copied the datagram; recycle the encode buffer.
+        pool_->release(std::move(data));
       },
       /*deliver=*/
       [this](PeerId from, util::BytesView payload) {
@@ -108,6 +113,7 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
     views_.emplace_back(g, v);
   };
   hooks.formation_result = [](GroupId, FormationOutcome) {};
+  hooks.buffer_pool = pool_;
   endpoint_ = std::make_unique<Endpoint>(id_, cfg_.endpoint,
                                          std::move(hooks));
 }
@@ -151,20 +157,25 @@ void UdpNode::run() {
         std::max<sim::Time>(1, (next_tick - now) / sim::kMillisecond));
     socket_.wait_readable(std::min(wait_ms, 20));
 
-    // Drain the socket. Each datagram becomes one owned heap buffer at
-    // this boundary; everything upward holds slices of it.
+    // Drain the socket. Each datagram lands in a reusable max-size
+    // scratch first (so the pooled buffer can be acquired right-sized —
+    // acquiring before knowing the length would either waste a 64KB
+    // class per datagram or grow past the pooled capacity and defeat
+    // the pool), then becomes one owned pooled buffer everything upward
+    // holds slices of.
     std::uint16_t from_port;
-    util::Bytes data;
-    while (socket_.receive(from_port, data)) {
+    while (socket_.receive(from_port, recv_scratch_)) {
       ProcessId from = kNoProcess;
       {
         std::scoped_lock lock(mutex_);
         auto it = port_peers_.find(from_port);
         if (it != port_peers_.end()) from = it->second;
       }
-      if (from != kNoProcess) {
-        router_->on_datagram(from, util::share(std::move(data)), now_us());
-      }
+      if (from == kNoProcess) continue;
+      util::Bytes data = pool_->acquire(recv_scratch_.size());
+      data.assign(recv_scratch_.begin(), recv_scratch_.end());
+      router_->on_datagram(from, util::BytesView(pool_->share(std::move(data))),
+                           now_us());
     }
     // Drain application commands.
     std::deque<std::function<void(Endpoint&, sim::Time)>> cmds;
@@ -173,6 +184,9 @@ void UdpNode::run() {
       cmds.swap(commands_);
     }
     for (auto& cmd : cmds) cmd(*endpoint_, now_us());
+    // Idle boundary: everything this iteration's inputs caused has been
+    // processed — flush batched payloads and deferred acks.
+    router_->flush_batches(now_us());
     // Protocol + retransmission ticks.
     if (now_us() >= next_tick) {
       router_->tick(now_us());

@@ -61,6 +61,9 @@ struct UdpNodeConfig {
   Config endpoint;
   ChannelConfig channel;
   sim::Duration tick_interval = 5 * sim::kMillisecond;
+  // Per-node buffer pool: recycles rx datagram buffers and tx packet
+  // encodes. enabled = false falls back to plain heap allocation.
+  util::BufferPoolConfig pool;
 };
 
 // A complete Newtop process on a UDP socket.
@@ -103,6 +106,11 @@ class UdpNode {
   ProcessId id_;
   UdpNodeConfig cfg_;
   UdpSocket socket_;
+  util::BufferPoolPtr pool_;
+  // Loop-thread-only receive staging: sized once to the max datagram so
+  // socket drains never reallocate; the pooled per-datagram buffer is
+  // acquired right-sized after the length is known.
+  util::Bytes recv_scratch_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Endpoint> endpoint_;
 

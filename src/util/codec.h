@@ -101,6 +101,12 @@ class Writer {
  public:
   Writer() = default;
   explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+  // Writes into recycled storage (buffer pooling): the buffer is cleared
+  // but its capacity is kept, so a pooled round-trip encodes without
+  // touching the allocator.
+  explicit Writer(Bytes reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 

@@ -75,6 +75,8 @@ TEST(ChannelSender, CumulativeAckReleasesPrefix) {
 TEST(ChannelSender, RetransmitsOnlyAfterRto) {
   ChannelConfig cfg;
   cfg.rto = 100;
+  cfg.rto_backoff = 2.0;
+  cfg.rto_max = 400;
   ChannelSender s{cfg};
   std::vector<util::Bytes> out;
   ChannelStats stats;
@@ -85,11 +87,42 @@ TEST(ChannelSender, RetransmitsOnlyAfterRto) {
   s.tick(1100, out, 0, stats);  // at RTO
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(stats.retransmissions, 1u);
-  // The retransmission resets the timer.
+  // Exponential backoff: the first retransmission doubles the packet's
+  // timeout, so the next one is due at +200, not +100.
+  out.clear();
+  s.tick(1200, out, 0, stats);
+  EXPECT_TRUE(out.empty());
+  s.tick(1300, out, 0, stats);
+  ASSERT_EQ(out.size(), 1u);
+  // Doubled again: due at +400.
+  out.clear();
+  s.tick(1600, out, 0, stats);
+  EXPECT_TRUE(out.empty());
+  s.tick(1700, out, 0, stats);
+  ASSERT_EQ(out.size(), 1u);
+  // Capped at rto_max = 400 from here on.
+  out.clear();
+  s.tick(2000, out, 0, stats);
+  EXPECT_TRUE(out.empty());
+  s.tick(2100, out, 0, stats);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ChannelSender, FlatRtoWhenBackoffDisabled) {
+  ChannelConfig cfg;
+  cfg.rto = 100;
+  cfg.rto_backoff = 1.0;  // knob: restore the flat schedule
+  ChannelSender s{cfg};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 1000, out, 0);
+  out.clear();
+  s.tick(1100, out, 0, stats);
+  ASSERT_EQ(out.size(), 1u);
   out.clear();
   s.tick(1150, out, 0, stats);
   EXPECT_TRUE(out.empty());
-  s.tick(1200, out, 0, stats);
+  s.tick(1200, out, 0, stats);  // flat: again after exactly one rto
   EXPECT_EQ(out.size(), 1u);
 }
 
@@ -160,12 +193,20 @@ TEST(ChannelReceiver, ReorderBufferCapDropsOverflow) {
   r.on_data(10, bytes_of("j"), delivered, stats);
   r.on_data(11, bytes_of("k"), delivered, stats);
   r.on_data(12, bytes_of("l"), delivered, stats);  // over cap: dropped
+  // The drop is visible in the stats, not a silent discard.
+  EXPECT_EQ(stats.reorder_dropped, 1u);
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
   // Fill the gap; only the two buffered arrive (12 retransmits later).
   for (std::uint64_t s = 1; s <= 9; ++s) {
     r.on_data(s, bytes_of("x"), delivered, stats);
   }
   EXPECT_EQ(delivered.size(), 11u);  // 1..11
   EXPECT_EQ(r.cum_ack(), 11u);
+  // The dropped packet recovers via retransmission.
+  r.on_data(12, bytes_of("l"), delivered, stats);
+  EXPECT_EQ(delivered.size(), 12u);
+  EXPECT_EQ(r.cum_ack(), 12u);
+  EXPECT_EQ(stats.reorder_dropped, 1u);
 }
 
 TEST(ChannelPair, EndToEndWithLossyHandDelivery) {
