@@ -80,8 +80,18 @@ using namespace newtop::benchutil;
 // the measured rounds is divided by their deliveries. Also samples the
 // retention byte accounting (worst pinned/used ratio seen after any
 // round) and reports the pool hit rate over the measured window.
+//
+// `delivery` selects the ownership mode (GroupOptions::delivery). The
+// SimProcess delivery log retains every payload for the whole run — the
+// honest model of an application that keeps what it was delivered. Under
+// kZeroCopySlice on the asymmetric workload that app co-pinning holds
+// whole sequencer BatchFrames hostage (compaction correctly declines to
+// copy while the app still references the buffer), so pinned/used rides
+// at ~8; kPooledCopy hands the app pooled right-sized copies instead,
+// releasing the frames and dropping the ratio toward ~1.
 void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode,
-                         bool pool_enabled) {
+                         bool pool_enabled,
+                         DeliveryMode delivery = DeliveryMode::kZeroCopySlice) {
   const auto max_batch = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kMembers = 8;
   constexpr int kBurst = 8;
@@ -100,6 +110,7 @@ void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode,
     const auto members = all_members(kMembers);
     GroupOptions opts;
     opts.mode = mode;
+    opts.delivery = delivery;
     w.create_group(1, members, opts);
     w.run_for(500 * kMillisecond);  // settle
 
@@ -202,8 +213,9 @@ void BM_RxDeliveryAllocs(benchmark::State& state, OrderMode mode,
   emit_bench_json(
       std::string("rx_delivery_allocs/") +
           (mode == OrderMode::kSymmetric ? "sym" : "asym") +
-          (pool_enabled ? "" : "_nopool") + "/batch" +
-          std::to_string(max_batch),
+          (pool_enabled ? "" : "_nopool") +
+          (delivery == DeliveryMode::kPooledCopy ? "_pooledcopy" : "") +
+          "/batch" + std::to_string(max_batch),
       {{"allocs_per_delivery", allocs_per_delivery},
        {"bytes_per_delivery", bytes_per_delivery},
        {"pool_hit_rate", pool_hit_rate},
@@ -226,6 +238,17 @@ void BM_RxDeliveryAllocsAsymmetric(benchmark::State& state) {
   BM_RxDeliveryAllocs(state, OrderMode::kAsymmetric, /*pool_enabled=*/true);
 }
 BENCHMARK(BM_RxDeliveryAllocsAsymmetric)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The retention-tail fix: same asymmetric workload, but the application
+// takes pooled right-sized copies (DeliveryMode::kPooledCopy) instead of
+// co-pinning sequencer BatchFrames. Compare
+// pinned_bytes_per_retained_byte against the variant above.
+void BM_RxDeliveryAllocsAsymmetricPooledCopy(benchmark::State& state) {
+  BM_RxDeliveryAllocs(state, OrderMode::kAsymmetric, /*pool_enabled=*/true,
+                      DeliveryMode::kPooledCopy);
+}
+BENCHMARK(BM_RxDeliveryAllocsAsymmetricPooledCopy)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // Pure wire-path micro bench: decode a BatchFrame of kSub ordered

@@ -2,9 +2,15 @@
 // multicasts, one process crashes, the survivors agree on a new view and
 // keep going. Run with no arguments; prints a narrated trace.
 //
-// This exercises the whole stack of Fig. 3: simulated network -> reliable
-// FIFO transport -> logical clocks -> membership -> total order delivery.
+// This exercises the whole stack of Fig. 3 (simulated network -> reliable
+// FIFO transport -> logical clocks -> membership -> total order delivery)
+// through the *unified application API* (core/api.h): GroupHandle for
+// commands and queries, the typed Event stream for everything the engine
+// reports back, and SendResult for the multicast admission verdict. The
+// same three surfaces exist verbatim on the threaded runtime
+// (examples/replicated_kv.cpp) and the UDP host (examples/udp_demo.cpp).
 #include <cstdio>
+#include <string>
 
 #include "core/sim_host.h"
 
@@ -13,6 +19,45 @@ using simhost::SimWorld;
 using simhost::WorldConfig;
 using sim::kMillisecond;
 using sim::kSecond;
+
+namespace {
+
+// One std::visit over the Event variant replaces the four legacy
+// callbacks — exhaustive by construction, so a new event kind is a
+// compile error here, not a silently missed signal.
+void print_event(ProcessId p, const Event& ev) {
+  struct Printer {
+    ProcessId p;
+    void operator()(const DeliveryEvent& e) const {
+      std::printf("  [event@P%u] deliver #%llu from P%u: \"%s\"\n", p,
+                  static_cast<unsigned long long>(e.delivery.counter),
+                  e.delivery.sender,
+                  std::string(e.delivery.payload.begin(),
+                              e.delivery.payload.end())
+                      .c_str());
+    }
+    void operator()(const ViewChangeEvent& e) const {
+      std::printf("  [event@P%u] view change in g%u -> %s\n", p, e.group,
+                  to_string(e.view).c_str());
+    }
+    void operator()(const FormationEvent& e) const {
+      std::printf("  [event@P%u] formation of g%u: %s\n", p, e.group,
+                  e.outcome == FormationOutcome::kFormed ? "formed"
+                                                         : "aborted");
+    }
+    void operator()(const SendWindowEvent& e) const {
+      std::printf("  [event@P%u] send window reopened in g%u (%zu slots)\n",
+                  p, e.group, e.available);
+    }
+    void operator()(const RetentionPressureEvent& e) const {
+      std::printf("  [event@P%u] retention pressure in g%u: %zu pinned\n",
+                  p, e.group, e.stats.pinned_bytes);
+    }
+  };
+  std::visit(Printer{p}, ev);
+}
+
+}  // namespace
 
 int main() {
   WorldConfig cfg;
@@ -26,9 +71,20 @@ int main() {
   std::printf("creating group g1 = {P0, P1, P2} (symmetric total order)\n");
   world.create_group(/*g=*/1, {0, 1, 2});
 
+  // P2 narrates its event stream; P0 and P1 are observed through the
+  // host's typed logs instead — both are fed by the same Event stream.
+  world.process(2).set_event_sink(
+      [](const Event& ev) { print_event(2, ev); });
+
+  // One handle per (process, group) membership.
+  GroupHandle g0 = world.group(0, 1);
+  GroupHandle g1 = world.group(1, 1);
+
   std::printf("P0 and P1 multicast concurrently...\n");
-  world.multicast(0, 1, "credit alice 100");
-  world.multicast(1, 1, "debit bob 40");
+  const SendResult r0 = g0.multicast(simhost::to_bytes("credit alice 100"));
+  const SendResult r1 = g1.multicast(simhost::to_bytes("debit bob 40"));
+  std::printf("admission: P0 -> %s, P1 -> %s\n", to_string(r0),
+              to_string(r1));
   world.run_for(1 * kSecond);
 
   for (ProcessId p = 0; p < 3; ++p) {
@@ -41,11 +97,11 @@ int main() {
 
   std::printf("\ncrashing P2...\n");
   world.crash(2);
-  world.multicast(0, 1, "credit carol 7");
+  g0.multicast(simhost::to_bytes("credit carol 7"));
   world.run_for(3 * kSecond);
 
   for (ProcessId p = 0; p < 2; ++p) {
-    const View* v = world.ep(p).view(1);
+    const auto v = world.group(p, 1).view();
     std::printf("P%u view after crash: %s\n", p,
                 v ? to_string(*v).c_str() : "(none)");
   }
@@ -57,7 +113,11 @@ int main() {
                   ? "identical"
                   : "DIVERGENT (bug!)");
 
-  std::printf("\nP0 stats: %llu app multicasts, %llu nulls, %llu views "
+  const RetentionStats rs = g0.retention_stats();
+  std::printf("\nP0 retention: %zu retained msgs, %zu used / %zu pinned "
+              "bytes\n",
+              rs.retained_msgs, rs.used_bytes, rs.pinned_bytes);
+  std::printf("P0 stats: %llu app multicasts, %llu nulls, %llu views "
               "installed\n",
               static_cast<unsigned long long>(world.ep(0).stats().app_multicasts),
               static_cast<unsigned long long>(world.ep(0).stats().nulls_sent),

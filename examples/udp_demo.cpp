@@ -1,7 +1,10 @@
 // Newtop over real UDP sockets: three nodes on loopback form a group
 // dynamically, exchange ordered traffic, and survive a node being killed.
 // The same protocol engine as everywhere else — only the bytes now travel
-// through the kernel's network stack.
+// through the kernel's network stack. Uses the unified application API
+// (core/api.h): the identical GroupHandle / Event surface the sim host
+// and the threaded runtime expose.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -28,6 +31,17 @@ int main() {
   UdpNodeConfig cfg;
   cfg.endpoint.omega = 25 * sim::kMillisecond;
   cfg.endpoint.omega_big = 200 * sim::kMillisecond;
+  // The typed event stream works identically over sockets: count
+  // formation outcomes as they happen instead of polling.
+  std::atomic<int> formations{0};
+  cfg.on_event = [&](const Event& ev) {
+    if (const auto* f = std::get_if<FormationEvent>(&ev)) {
+      std::printf("  [event] group %u formation: %s\n", f->group,
+                  f->outcome == FormationOutcome::kFormed ? "formed"
+                                                          : "aborted");
+      ++formations;
+    }
+  };
 
   std::printf("== Newtop over UDP loopback ==\n");
   std::vector<std::unique_ptr<UdpNode>> nodes;
@@ -46,8 +60,15 @@ int main() {
   nodes[0]->initiate_group(1, {0, 1, 2});
   std::this_thread::sleep_for(400ms);
 
-  nodes[1]->multicast(1, bytes_of("hello from P1"));
-  nodes[2]->multicast(1, bytes_of("hello from P2"));
+  // GroupHandles marshal onto each node's loop thread and return the
+  // admission verdict synchronously — the same facade as the sim host
+  // and the threaded runtime.
+  GroupHandle g1 = nodes[1]->group(1);
+  GroupHandle g2 = nodes[2]->group(1);
+  std::printf("P1 multicast: %s\n",
+              to_string(g1.multicast(bytes_of("hello from P1"))));
+  std::printf("P2 multicast: %s\n",
+              to_string(g2.multicast(bytes_of("hello from P2"))));
   std::this_thread::sleep_for(500ms);
 
   for (auto& node : nodes) {
@@ -62,18 +83,20 @@ int main() {
   std::printf("\nkilling P2 (socket closed, no goodbye)...\n");
   nodes[2]->stop();
   const auto deadline = std::chrono::steady_clock::now() + 15s;
+  GroupHandle g0 = nodes[0]->group(1);
   bool excluded = false;
   while (std::chrono::steady_clock::now() < deadline && !excluded) {
-    const auto v = nodes[0]->views();
-    excluded = !v.empty() &&
-               v.back().second.members == std::vector<ProcessId>{0, 1};
+    const auto v = g0.view();  // live engine state, via the handle
+    excluded =
+        v.has_value() && v->members == std::vector<ProcessId>{0, 1};
     std::this_thread::sleep_for(20ms);
   }
   std::printf("survivors' view: %s\n",
               excluded ? "V{P0,P1} — P2 excluded by the membership protocol"
                        : "TIMEOUT (unexpected)");
 
-  nodes[0]->multicast(1, bytes_of("life goes on"));
+  std::printf("P0 multicast: %s\n",
+              to_string(g0.multicast(bytes_of("life goes on"))));
   std::this_thread::sleep_for(300ms);
   const auto d1 = nodes[1]->deliveries();
   const std::string last =

@@ -1,0 +1,48 @@
+// Unified API: the legacy-hooks adapter and the GroupHandle facade.
+#include "core/api.h"
+
+#include "core/endpoint.h"
+
+namespace newtop {
+
+const char* to_string(SendResult r) {
+  switch (r) {
+    case SendResult::kSent: return "sent";
+    case SendResult::kQueued: return "queued";
+    case SendResult::kNotMember: return "not-member";
+    case SendResult::kBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+void emit_to_legacy_hooks(const EndpointHooks& hooks, const Event& ev) {
+  if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
+    if (hooks.deliver) hooks.deliver(d->delivery);
+  } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
+    if (hooks.view_change) hooks.view_change(v->group, v->view);
+  } else if (const auto* f = std::get_if<FormationEvent>(&ev)) {
+    if (hooks.formation_result) hooks.formation_result(f->group, f->outcome);
+  }
+  // SendWindowEvent / RetentionPressureEvent have no legacy field: a
+  // legacy-hooks application never asked for backpressure signals.
+}
+
+SendResult GroupHandle::multicast(util::Bytes payload) {
+  if (host_ == nullptr) return SendResult::kNotMember;
+  return host_->group_multicast(id_, std::move(payload));
+}
+
+void GroupHandle::leave() {
+  if (host_ != nullptr) host_->group_leave(id_);
+}
+
+std::optional<View> GroupHandle::view() {
+  return host_ != nullptr ? host_->group_view(id_) : std::nullopt;
+}
+
+RetentionStats GroupHandle::retention_stats() {
+  return host_ != nullptr ? host_->group_retention_stats(id_)
+                          : RetentionStats{};
+}
+
+}  // namespace newtop

@@ -38,6 +38,19 @@ struct Config {
   // signatures, making concurrent subgroup views never intersect.
   bool signature_views = false;
 
+  // Send backpressure: multicast returns SendResult::kBackpressure (and
+  // drops the payload) once this many application sends are already
+  // queued locally (unsubmitted) in the group; a SendWindowEvent is
+  // emitted when the window reopens. 0 = unbounded queueing (the old
+  // behaviour).
+  std::size_t max_pending_sends = 0;
+
+  // Retention pressure signal: emit a RetentionPressureEvent when a
+  // group's pinned retention bytes (see RetentionStats) reach this
+  // threshold. Edge-triggered — re-armed once the footprint falls back
+  // under it. 0 disables the signal.
+  std::size_t retention_pressure_bytes = 0;
+
   // Retention compaction: a retained/held/queued slice whose backing
   // buffer is more than this factor larger than the slice itself is
   // copied into a right-sized buffer on the next tick, releasing the

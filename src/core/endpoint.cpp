@@ -27,7 +27,8 @@ std::vector<ProcessId> sorted_unique(std::vector<ProcessId> v) {
 Endpoint::Endpoint(ProcessId self, Config config, EndpointHooks hooks)
     : self_(self), cfg_(config), hooks_(std::move(hooks)) {
   NEWTOP_CHECK(hooks_.send != nullptr);
-  NEWTOP_CHECK(hooks_.deliver != nullptr);
+  NEWTOP_CHECK_MSG(hooks_.on_event != nullptr || hooks_.deliver != nullptr,
+                   "need an event sink or a legacy deliver hook");
   NEWTOP_CHECK_MSG(cfg_.omega_big > cfg_.omega, "need Omega > omega (§5.2)");
 }
 
@@ -62,13 +63,26 @@ void Endpoint::create_group(GroupId g, std::vector<ProcessId> members,
   }
 }
 
-bool Endpoint::multicast(GroupId g, util::Bytes payload, Time now) {
+SendResult Endpoint::multicast(GroupId g, util::Bytes payload, Time now) {
   Reentrancy scope(*this);
   GroupState* gs = find_group(g);
-  if (gs == nullptr || (!gs->open && !gs->forming)) return false;
+  if (gs == nullptr || (!gs->open && !gs->forming)) {
+    return SendResult::kNotMember;
+  }
+  if (cfg_.max_pending_sends > 0 &&
+      gs->pending_app >= cfg_.max_pending_sends) {
+    // Window full: reject instead of queueing unboundedly. The reopening
+    // is announced by exactly one SendWindowEvent (notify_send_windows).
+    gs->window_closed = true;
+    ++stats_.sends_rejected;
+    return SendResult::kBackpressure;
+  }
   pending_sends_.push_back(PendingSend{g, std::move(payload)});
+  ++gs->pending_app;
   pump_sends(now);
-  return true;
+  // The pump consumes strictly from the front; our entry was the back,
+  // so an empty deque means everything — including it — was submitted.
+  return pending_sends_.empty() ? SendResult::kSent : SendResult::kQueued;
 }
 
 void Endpoint::leave_group(GroupId g, Time now) {
@@ -83,13 +97,15 @@ void Endpoint::leave_group(GroupId g, Time now) {
   }
   gs->defunct = true;
   pending_erase_.push_back(g);
-  // Drop queued deliveries and queued sends for the group.
+  // Drop queued deliveries and queued sends for the group. Sends are
+  // removed outright: were they merely blanked, a later re-creation of
+  // the same group id would submit them as spurious empty messages (and
+  // their pops would corrupt the new membership's send-window counter).
   for (auto it = queue_.begin(); it != queue_.end();) {
     it = it->first.group == g ? queue_.erase(it) : std::next(it);
   }
-  for (auto& ps : pending_sends_) {
-    if (ps.group == g) ps.payload.clear();  // skipped by pump
-  }
+  std::erase_if(pending_sends_,
+                [g](const PendingSend& ps) { return ps.group == g; });
 }
 
 // ---------------------------------------------------------------------
@@ -204,6 +220,13 @@ void Endpoint::on_tick(Time now) {
   // tick: long-lived enough to be worth copying out of an oversized
   // backing buffer.
   compact_retention();
+  // Post-compaction footprint is the honest pressure signal: pinned
+  // bytes that compaction could not reclaim.
+  if (cfg_.retention_pressure_bytes > 0) {
+    for (GroupId g : ids) {
+      if (GroupState* gs = find_group(g)) check_retention_pressure(*gs);
+    }
+  }
   pump_sends(now);
   tick_ids_scratch_ = std::move(ids);
 }
@@ -417,18 +440,19 @@ void Endpoint::emit_ordered(GroupState& gs, MsgType type,
   process_ordered(self_, m, now, /*via_recovery=*/false);
 }
 
-void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
+void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& incoming,
                                Time now, bool via_recovery) {
-  GroupState* gs = find_group(msg.group);
+  GroupState* gs = find_group(incoming.group);
   if (gs == nullptr) return;  // not (or no longer) a member
 
-  if (msg.type == MsgType::kStartGroup) {
-    handle_start_group(*gs, msg, now);
+  if (incoming.type == MsgType::kStartGroup) {
+    handle_start_group(*gs, incoming, now);
     return;
   }
 
   // "Pi discards any messages received from Pk ... if Pk ∉ Vi" (§5.2).
-  if (!gs->view.contains(msg.emitter) || !gs->view.contains(msg.sender)) {
+  if (!gs->view.contains(incoming.emitter) ||
+      !gs->view.contains(incoming.sender)) {
     ++stats_.messages_discarded;
     return;
   }
@@ -436,14 +460,42 @@ void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& msg,
   // §5.2 (viii): once a detection is agreed, messages from failed
   // processes numbered above lnmn are discarded — even if legitimately
   // sent before the failure (Example 1; required for MD5).
-  if (gs->installing && msg.counter > gs->installing->lnmn) {
+  if (gs->installing && incoming.counter > gs->installing->lnmn) {
     const auto& failed = gs->installing->failed;
-    if (std::count(failed.begin(), failed.end(), msg.sender) > 0 ||
-        std::count(failed.begin(), failed.end(), msg.emitter) > 0) {
+    if (std::count(failed.begin(), failed.end(), incoming.sender) > 0 ||
+        std::count(failed.begin(), failed.end(), incoming.emitter) > 0) {
       ++stats_.messages_discarded;
       return;
     }
   }
+
+  // Copy-out ownership modes: detach the message from its arrival
+  // datagram before anything (hold / queue / retention / delivery) can
+  // retain a slice of it, so the datagram is released when its handling
+  // returns. Self-emitted messages keep their raw encoding (the
+  // transport's retransmission queue pins that buffer regardless), but a
+  // payload that is a strict slice of some other arrival (a sequencer
+  // echo reusing the received forward's payload) is still copied out.
+  OrderedMsg detached;
+  const OrderedMsg& msg = [&]() -> const OrderedMsg& {
+    if (gs->opts.delivery == DeliveryMode::kZeroCopySlice) return incoming;
+    // Nulls are never retained, queued or delivered; copying them would
+    // tax every heartbeat for nothing. The one path that does keep a
+    // null past its handling — the suspicion hold — only exists while a
+    // suspicion is live, so only then is the copy owed.
+    if (incoming.type == MsgType::kNull && gs->gv.suspicions.empty()) {
+      return incoming;
+    }
+    const bool foreign = link_from != self_;
+    const util::SharedBytes& pbuf = incoming.payload.buffer();
+    const bool split_slice = pbuf != nullptr &&
+                             pbuf != incoming.raw.buffer() &&
+                             incoming.payload.size() < pbuf->size();
+    if (!foreign && !split_slice) return incoming;
+    detached = incoming;
+    detach_arrival(*gs, detached, /*copy_raw=*/foreign);
+    return detached;
+  }();
 
   // Messages from a currently-suspected process are held pending the
   // agreement outcome (§5.2), unless self_refute lets fresh evidence
@@ -531,7 +583,56 @@ void Endpoint::deliver_app(const GroupState& gs, const OrderedMsg& msg) {
   d.view_seq = gs.view.seq;
   d.payload = msg.payload;
   ++stats_.deliveries;
-  hooks_.deliver(d);
+  emit_event(Event(DeliveryEvent{std::move(d)}));
+}
+
+// ---------------------------------------------------------------------
+// Unified event stream
+// ---------------------------------------------------------------------
+
+void Endpoint::emit_event(const Event& ev) {
+  if (hooks_.on_event) hooks_.on_event(ev);
+  emit_to_legacy_hooks(hooks_, ev);
+}
+
+void Endpoint::check_retention_pressure(GroupState& gs) {
+  if (cfg_.retention_pressure_bytes == 0) return;
+  const RetentionStats rs = retention_stats(gs.id);
+  if (rs.pinned_bytes >= cfg_.retention_pressure_bytes) {
+    if (!gs.pressure_signaled) {
+      gs.pressure_signaled = true;
+      ++stats_.retention_pressure_events;
+      emit_event(Event(RetentionPressureEvent{gs.id, rs}));
+    }
+  } else {
+    gs.pressure_signaled = false;  // re-arm
+  }
+}
+
+void Endpoint::detach_arrival(const GroupState& gs, OrderedMsg& m,
+                              bool copy_raw) {
+  const bool pooled = gs.opts.delivery == DeliveryMode::kPooledCopy;
+  auto copy = [&](const util::BytesView& v) -> util::BytesView {
+    ++stats_.arrival_detach_copies;
+    if (pooled) {
+      util::Bytes b = obtain_buffer(v.size());
+      b.assign(v.begin(), v.end());
+      return util::BytesView(share_buffer(std::move(b)));
+    }
+    return util::BytesView::copy_of(v.span());
+  };
+  // payload is (normally) a sub-slice of raw; preserve the sharing so the
+  // detached message still pins exactly one right-sized buffer.
+  const bool nested =
+      m.payload.buffer() != nullptr && m.payload.buffer() == m.raw.buffer();
+  if (copy_raw && !m.raw.empty()) {
+    const std::size_t off =
+        nested ? static_cast<std::size_t>(m.payload.data() - m.raw.data())
+               : 0;
+    m.raw = copy(m.raw);
+    if (nested) m.payload = m.raw.subview(off, m.payload.size());
+  }
+  if (!nested && !m.payload.empty()) m.payload = copy(m.payload);
 }
 
 void Endpoint::pump_deliveries() {
@@ -592,7 +693,23 @@ void Endpoint::pump_sends(Time now) {
     }
     util::Bytes payload = std::move(head.payload);
     pending_sends_.pop_front();
+    if (gs->pending_app > 0) --gs->pending_app;
     gs->plane->submit_app(*gs, std::move(payload), now);
+  }
+  notify_send_windows();
+}
+
+void Endpoint::notify_send_windows() {
+  if (cfg_.max_pending_sends == 0) return;
+  for (auto& [gid, gs] : groups_) {
+    if (gs.defunct || !gs.window_closed) continue;
+    if (gs.pending_app >= cfg_.max_pending_sends) continue;
+    // Clear the flag before the sink runs: a re-entrant multicast filling
+    // the window again must arm a fresh event, not suppress this one.
+    gs.window_closed = false;
+    ++stats_.send_window_events;
+    emit_event(Event(SendWindowEvent{
+        gid, cfg_.max_pending_sends - gs.pending_app}));
   }
 }
 

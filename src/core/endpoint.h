@@ -28,6 +28,7 @@
 #include <set>
 #include <vector>
 
+#include "core/api.h"
 #include "core/config.h"
 #include "core/lamport.h"
 #include "core/ordering.h"
@@ -41,54 +42,32 @@ namespace newtop {
 
 using sim::Time;
 
-// A message handed to the application. `payload` is an owned slice of the
-// arrival datagram's single allocation (or of the sender's own encoding
-// for self-delivery); it may be kept past the callback without copying.
-struct Delivery {
-  GroupId group = 0;
-  ProcessId sender = 0;   // m.s — always a member of the delivery view (MD1)
-  Counter counter = 0;    // m.c — the total-order position
-  ViewSeq view_seq = 0;   // r of the view it was delivered in
-  util::BytesView payload;
-};
-
-enum class FormationOutcome : std::uint8_t {
-  kFormed = 0,
-  kVetoed = 1,
-  kTimedOut = 2,
-};
-
 // Host-provided callbacks. `send` must provide the paper's transport
 // guarantee: FIFO, uncorrupted delivery to live connected peers (the
 // transport::Router does). The encoded buffer is shared: one encoding
 // fans out to every peer, and the transport may retain the reference for
 // retransmission. Callbacks may re-enter the endpoint's API.
+//
+// Engine outputs flow as a typed Event stream (core/api.h). New code
+// installs `on_event`; the legacy per-field callbacks below keep working
+// through the emit_to_legacy_hooks adapter (every event is offered to
+// both, so a host may set either or mix them during migration). At least
+// one of `on_event` / `deliver` must be set.
 struct EndpointHooks {
   std::function<void(ProcessId to, util::SharedBytes data)> send;
+  // The unified event sink: deliveries, view changes, formation
+  // outcomes, send-window reopenings and retention-pressure signals.
+  EventSink on_event;
+  // Legacy per-field hooks (adapter-fed; see above).
   std::function<void(const Delivery&)> deliver;
   std::function<void(GroupId, const View&)> view_change;
   std::function<void(GroupId, FormationOutcome)> formation_result;
   // Vote on an invitation to form a group (§5.3 step 2). Default: yes.
   std::function<bool(const FormInviteMsg&)> accept_invite;
-  // Optional host-provided buffer pool. Retention compaction draws its
-  // right-sized replacement buffers from it; absent, compaction falls
-  // back to plain allocations.
+  // Optional host-provided buffer pool. Retention compaction and the
+  // kPooledCopy delivery mode draw their right-sized buffers from it;
+  // absent, both fall back to plain allocations.
   util::BufferPoolPtr buffer_pool;
-};
-
-// Byte accounting for everything the engine retains past a message's
-// handling: recovery retention, suspicion-held messages and the delivery
-// queue. `used` is the bytes the slices actually reference; `pinned` is
-// the total size of the distinct backing allocations those slices keep
-// alive. pinned >> used is the memory-bloat signature retention
-// compaction exists to fix (a 10-byte sub-message pinning its multi-KB
-// BatchFrame until stability).
-struct RetentionStats {
-  std::size_t retained_msgs = 0;  // recovery retention entries
-  std::size_t held_msgs = 0;      // suspicion-held messages
-  std::size_t queued_msgs = 0;    // delivery-queue entries
-  std::size_t used_bytes = 0;
-  std::size_t pinned_bytes = 0;
 };
 
 class Endpoint : private PlaneHost {
@@ -120,9 +99,13 @@ class Endpoint : private PlaneHost {
 
   // Multicasts payload to the group. May queue locally (mixed-mode
   // blocking rule, flow control, formation in progress); queued sends are
-  // emitted in order as they become eligible. Returns false if this
-  // process is not a member of g.
-  bool multicast(GroupId g, util::Bytes payload, Time now);
+  // emitted in order as they become eligible. Returns the admission
+  // verdict (core/api.h): kSent / kQueued on acceptance, kNotMember when
+  // this process is not a member of g, kBackpressure when the per-group
+  // pending window (Config::max_pending_sends) is full. A re-entrant
+  // multicast from a delivery callback may see kQueued reported for a
+  // message that was in fact submitted (the conservative direction).
+  SendResult multicast(GroupId g, util::Bytes payload, Time now);
 
   // Voluntary departure (§5): announces a final ordered Leave message and
   // drops all local state for g. Remaining members agree on the departure
@@ -220,6 +203,14 @@ class Endpoint : private PlaneHost {
     std::optional<Installing> installing;
     std::unique_ptr<FormationState> forming;
     std::uint32_t excluded_count = 0;  // signature views (§6)
+    // Send-window bookkeeping (Config::max_pending_sends): entries of
+    // pending_sends_ belonging to this group, and whether a multicast
+    // was rejected since the window last had room (the SendWindowEvent
+    // is owed exactly once per closed->open transition).
+    std::size_t pending_app = 0;
+    bool window_closed = false;
+    // Retention-pressure edge detector (Config::retention_pressure_bytes).
+    bool pressure_signaled = false;
     // Set when the application leaves the group while a handler is on the
     // stack: the state is skipped by all lookups and erased once the
     // outermost handler returns (std::map erase would otherwise invalidate
@@ -291,6 +282,21 @@ class Endpoint : private PlaneHost {
   bool send_eligible(const GroupState& gs) const;
   void deliver_app(const GroupState& gs, const OrderedMsg& msg);
   void advance_stability(GroupState& gs);
+
+  // ---- Unified event stream (core/api.h) ------------------------------
+  // Every engine output funnels through here: the on_event sink first,
+  // then the legacy per-field adapter. The sink may re-enter the API.
+  void emit_event(const Event& ev);
+  // Emits the owed SendWindowEvent for every group whose window
+  // transitioned closed -> open (end of pump_sends).
+  void notify_send_windows();
+  // Edge-triggered retention-pressure check (per tick, post-compaction).
+  void check_retention_pressure(GroupState& gs);
+  // Copy-out delivery modes: re-backs an accepted message with
+  // right-sized (pooled for kPooledCopy) buffers so the arrival datagram
+  // is released when its handling returns. copy_raw is false for
+  // self-emitted messages, whose raw encoding the transport pins anyway.
+  void detach_arrival(const GroupState& gs, OrderedMsg& m, bool copy_raw);
 
   // ---- Retention compaction (tentpole: bound pinned bytes) ------------
   bool should_compact(const util::BytesView& v, long own_refs) const;

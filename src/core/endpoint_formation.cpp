@@ -196,9 +196,7 @@ void Endpoint::maybe_complete_formation(GroupState& gs, Time now) {
   lc_.raise_to(start_max);
   gs.forming.reset();
   gs.open = true;
-  if (hooks_.formation_result) {
-    hooks_.formation_result(gs.id, FormationOutcome::kFormed);
-  }
+  emit_event(Event(FormationEvent{gs.id, FormationOutcome::kFormed}));
   if (find_group(gs.id) == nullptr) return;
   pump_deliveries();
   if (find_group(gs.id) == nullptr) return;
@@ -208,11 +206,17 @@ void Endpoint::maybe_complete_formation(GroupState& gs, Time now) {
 void Endpoint::abort_formation(GroupId g, FormationOutcome outcome) {
   GroupState* gs = find_group(g);
   if (gs == nullptr || !gs->forming || gs->forming->activated) return;
-  if (hooks_.formation_result) hooks_.formation_result(g, outcome);
+  emit_event(Event(FormationEvent{g, outcome}));
   gs = find_group(g);
   if (gs == nullptr) return;
   gs->defunct = true;
   pending_erase_.push_back(g);
+  // Same invariant as leave_group: sends queued during the formation
+  // must go with it, or a later re-creation of the group id would
+  // submit them as stale messages (and their pops would corrupt the new
+  // membership's send-window counter).
+  std::erase_if(pending_sends_,
+                [g](const PendingSend& ps) { return ps.group == g; });
 }
 
 void Endpoint::tick_formation(GroupState& gs, Time now) {

@@ -425,7 +425,7 @@ void Endpoint::install_view(GroupState& gs, Time now) {
     for (ProcessId p : failed) endorsers.erase(p);
   }
 
-  if (hooks_.view_change) hooks_.view_change(gs.id, gs.view);
+  emit_event(Event(ViewChangeEvent{gs.id, gs.view}));
   if (find_group(gs.id) == nullptr) return;  // callback left the group
 
   // Discipline follow-up — asymmetric sequencer failover re-submits

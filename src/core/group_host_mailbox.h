@@ -1,0 +1,123 @@
+// Blocking GroupHost over a command mailbox.
+//
+// Hosts whose endpoint lives on its own thread (a ThreadedRuntime
+// worker, a UdpNode loop) implement the GroupHandle facade the same
+// way: marshal the call onto the owner thread, block on a promise, and
+// degrade to the rejecting default when the command is dropped (host
+// stopping) or destroyed unexecuted (mailbox cleared by stop/crash —
+// the broken promise is the signal). This mixin implements that once;
+// a host supplies only its enqueue primitive and its SendCounts
+// recorder. Do not call the blocking methods from code running on the
+// owner thread itself — they would deadlock on their own mailbox.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/endpoint.h"
+
+namespace newtop {
+
+class MailboxGroupHost : public GroupHost {
+ public:
+  using HostCommand = std::function<void(Endpoint&, sim::Time)>;
+
+  // Async multicast: the verdict is recorded via record_host_send and
+  // reported through `done` from the owner thread. The completion guard
+  // fires kNotMember if the command is dropped at enqueue or destroyed
+  // unexecuted, so `done` is called exactly once either way.
+  void async_multicast(GroupId g, util::Bytes payload,
+                       std::function<void(SendResult)> done) {
+    auto guard = std::make_shared<SendCompletion>();
+    guard->fn = std::move(done);
+    const bool queued = enqueue_host_command(
+        [this, g, payload = std::move(payload),
+         guard](Endpoint& e, sim::Time now) mutable {
+          const SendResult r = e.multicast(g, std::move(payload), now);
+          record_host_send(r);
+          (*guard)(r);
+        });
+    if (!queued) (*guard)(SendResult::kNotMember);
+  }
+
+  // ---- GroupHost ------------------------------------------------------
+
+  SendResult group_multicast(GroupId g, util::Bytes payload) override {
+    return marshal<SendResult>(
+        SendResult::kNotMember,
+        [this, g, payload = std::move(payload)](Endpoint& e,
+                                                sim::Time now) mutable {
+          const SendResult r = e.multicast(g, std::move(payload), now);
+          record_host_send(r);
+          return r;
+        });
+  }
+
+  void group_leave(GroupId g) override {
+    enqueue_host_command(
+        [g](Endpoint& e, sim::Time now) { e.leave_group(g, now); });
+  }
+
+  std::optional<View> group_view(GroupId g) override {
+    return marshal<std::optional<View>>(
+        std::nullopt, [g](Endpoint& e, sim::Time) {
+          const View* v = e.view(g);
+          return v != nullptr ? std::optional<View>(*v) : std::nullopt;
+        });
+  }
+
+  RetentionStats group_retention_stats(GroupId g) override {
+    return marshal<RetentionStats>(
+        RetentionStats{},
+        [g](Endpoint& e, sim::Time) { return e.retention_stats(g); });
+  }
+
+ protected:
+  ~MailboxGroupHost() = default;
+
+  // Queues fn for the owner thread; false when the host is stopping and
+  // the command was dropped. A host that clears its mailbox on
+  // stop/crash must destroy the dropped commands outside its mailbox
+  // lock (their guards/promises run user-visible callbacks).
+  virtual bool enqueue_host_command(HostCommand fn) = 0;
+  // Tallies an executed multicast's verdict (host SendCounts).
+  virtual void record_host_send(SendResult r) = 0;
+
+ private:
+  // Completion guard: reports kNotMember from its destructor when the
+  // command carrying it is destroyed unexecuted.
+  struct SendCompletion {
+    std::function<void(SendResult)> fn;
+    bool fired = false;
+
+    void operator()(SendResult r) {
+      fired = true;
+      if (fn) fn(r);
+    }
+    ~SendCompletion() {
+      if (fn && !fired) fn(SendResult::kNotMember);
+    }
+  };
+
+  template <typename T, typename Fn>
+  T marshal(T fallback, Fn&& fn) {
+    auto prom = std::make_shared<std::promise<T>>();
+    std::future<T> fut = prom->get_future();
+    const bool queued = enqueue_host_command(
+        [prom, fn = std::forward<Fn>(fn)](Endpoint& e,
+                                          sim::Time now) mutable {
+          prom->set_value(fn(e, now));
+        });
+    if (!queued) return fallback;
+    try {
+      return fut.get();
+    } catch (const std::future_error&) {
+      return fallback;  // mailbox cleared with the command still queued
+    }
+  }
+};
+
+}  // namespace newtop

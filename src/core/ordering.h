@@ -56,6 +56,13 @@ struct EndpointStats {
   // Retention compaction: long-lived slices copied out of oversized
   // backing buffers (see Config::retention_compact_ratio).
   std::uint64_t retention_compactions = 0;
+  // Unified-API counters: backpressure rejections
+  // (Config::max_pending_sends), window-reopen events, retention-pressure
+  // events and arrival-detach copies made by the copy-out delivery modes.
+  std::uint64_t sends_rejected = 0;
+  std::uint64_t send_window_events = 0;
+  std::uint64_t retention_pressure_events = 0;
+  std::uint64_t arrival_detach_copies = 0;
 };
 
 // The per-group state shared between the endpoint and its ordering plane:

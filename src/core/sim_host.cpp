@@ -51,19 +51,50 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
     router_->send_buffered(to, std::move(data), sim_.now());
     schedule_flush();
   };
-  hooks.deliver = [this](const Delivery& d) {
-    deliveries.push_back(DeliveryRecord{sim_.now(), d});
-  };
-  hooks.view_change = [this](GroupId g, const View& v) {
-    views.push_back(ViewRecord{sim_.now(), g, v});
-  };
-  hooks.formation_result = [this](GroupId g, FormationOutcome outcome) {
-    formations.push_back(FormationRecord{sim_.now(), g, outcome});
-  };
+  hooks.on_event = [this](const Event& ev) { on_event(ev); };
   hooks.buffer_pool = std::move(pool);
   endpoint_ = std::make_unique<Endpoint>(id_, config.endpoint,
                                          std::move(hooks));
   schedule_tick();
+}
+
+void SimProcess::on_event(const Event& ev) {
+  // Record into the typed observation logs, then hand the event to the
+  // application's sink (if any).
+  if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
+    deliveries.push_back(DeliveryRecord{sim_.now(), d->delivery});
+  } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
+    views.push_back(ViewRecord{sim_.now(), v->group, v->view});
+  } else if (const auto* f = std::get_if<FormationEvent>(&ev)) {
+    formations.push_back(FormationRecord{sim_.now(), f->group, f->outcome});
+  } else if (const auto* s = std::get_if<SendWindowEvent>(&ev)) {
+    send_windows.push_back(SendWindowRecord{sim_.now(), *s});
+  } else if (const auto* r = std::get_if<RetentionPressureEvent>(&ev)) {
+    retention_pressure.push_back(RetentionPressureRecord{sim_.now(), *r});
+  }
+  if (app_sink_) app_sink_(ev);
+}
+
+SendResult SimProcess::group_multicast(GroupId g, util::Bytes payload) {
+  if (crashed_) return SendResult::kNotMember;
+  return endpoint_->multicast(g, std::move(payload), sim_.now());
+}
+
+void SimProcess::group_leave(GroupId g) {
+  if (!crashed_) endpoint_->leave_group(g, sim_.now());
+}
+
+std::optional<View> SimProcess::group_view(GroupId g) {
+  // Crashed processes degrade to the rejecting defaults, exactly like a
+  // stopped ThreadedRuntime worker or UdpNode (the api.h contract).
+  if (crashed_) return std::nullopt;
+  const View* v = endpoint_->view(g);
+  return v != nullptr ? std::optional<View>(*v) : std::nullopt;
+}
+
+RetentionStats SimProcess::group_retention_stats(GroupId g) {
+  if (crashed_) return RetentionStats{};
+  return endpoint_->retention_stats(g);
 }
 
 void SimProcess::on_datagram(sim::NodeId from, util::SharedBytes data) {
@@ -132,7 +163,8 @@ void SimWorld::create_group(GroupId g, const std::vector<ProcessId>& members,
   }
 }
 
-bool SimWorld::multicast(ProcessId from, GroupId g, std::string_view payload) {
+SendResult SimWorld::multicast(ProcessId from, GroupId g,
+                               std::string_view payload) {
   return ep(from).multicast(g, to_bytes(payload), sim_.now());
 }
 

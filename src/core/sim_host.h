@@ -47,12 +47,27 @@ struct FormationRecord {
   FormationOutcome outcome = FormationOutcome::kFormed;
 };
 
+struct SendWindowRecord {
+  sim::Time at = 0;
+  SendWindowEvent event;
+};
+
+struct RetentionPressureRecord {
+  sim::Time at = 0;
+  RetentionPressureEvent event;
+};
+
 // One simulated node: Endpoint + Router bound to a Network node, driven
 // by a periodic tick event. All processes of a world share one
 // BufferPool (the world's), which also backs the Network's datagram
 // buffers: tx encodes and rx datagrams recycle through the same
 // freelists.
-class SimProcess {
+//
+// The process consumes the engine's unified event stream (core/api.h):
+// every Event is recorded into the typed observation logs below and then
+// forwarded to the application's sink (set_event_sink), and the process
+// is the GroupHost behind SimWorld::group handles.
+class SimProcess : public GroupHost {
  public:
   SimProcess(sim::Simulator& simulator, sim::Network& network, ProcessId id,
              const HostConfig& config, util::BufferPoolPtr pool);
@@ -61,6 +76,19 @@ class SimProcess {
   Endpoint& endpoint() { return *endpoint_; }
   const Endpoint& endpoint() const { return *endpoint_; }
   transport::Router& router() { return *router_; }
+
+  // Application event sink: receives every engine event after the
+  // observation logs have recorded it. Replaces a previous sink.
+  void set_event_sink(EventSink sink) { app_sink_ = std::move(sink); }
+
+  // Facade over one group membership (also via SimWorld::group).
+  GroupHandle group(GroupId g) { return GroupHandle(this, g); }
+
+  // GroupHost: direct calls into the endpoint at the current sim time.
+  SendResult group_multicast(GroupId g, util::Bytes payload) override;
+  void group_leave(GroupId g) override;
+  std::optional<View> group_view(GroupId g) override;
+  RetentionStats group_retention_stats(GroupId g) override;
 
   // Halts the process: no more ticks, sends or receives. In-flight
   // datagrams it already emitted still arrive (a crash does not recall
@@ -82,12 +110,15 @@ class SimProcess {
   std::vector<DeliveryRecord> deliveries;
   std::vector<ViewRecord> views;
   std::vector<FormationRecord> formations;
+  std::vector<SendWindowRecord> send_windows;
+  std::vector<RetentionPressureRecord> retention_pressure;
 
   // Delivered payload sequence for one group (convenience for oracles).
   std::vector<std::string> delivered_strings(GroupId g) const;
 
  private:
   void on_datagram(sim::NodeId from, util::SharedBytes data);
+  void on_event(const Event& ev);
   void schedule_tick();
   // Flush-on-idle: endpoint sends are buffered in the router and flushed
   // by a zero-delay event once the current input has been fully processed,
@@ -103,6 +134,7 @@ class SimProcess {
   bool crashed_ = false;
   bool flush_pending_ = false;
   std::optional<std::uint64_t> sends_until_crash_;
+  EventSink app_sink_;
   std::unique_ptr<transport::Router> router_;
   std::unique_ptr<Endpoint> endpoint_;
 };
@@ -135,8 +167,15 @@ class SimWorld {
   void create_group(GroupId g, const std::vector<ProcessId>& members,
                     GroupOptions options = {});
 
-  // Convenience: multicast a string payload.
-  bool multicast(ProcessId from, GroupId g, std::string_view payload);
+  // Facade over process p's membership in g (see api.h); identical to
+  // what the threaded runtime and the UDP host hand out.
+  GroupHandle group(ProcessId p, GroupId g) {
+    return procs_.at(p)->group(g);
+  }
+
+  // Convenience: multicast a string payload, propagating the engine's
+  // admission verdict (send_accepted(r) is the old boolean).
+  SendResult multicast(ProcessId from, GroupId g, std::string_view payload);
 
   void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
   void run_until(sim::Time t) { sim_.run_until(t); }

@@ -37,9 +37,28 @@ enum class Guarantee : std::uint8_t {
   kAtomicOnly = 1,  // atomic delivery w.r.t. views, no ordering
 };
 
+// Payload ownership handed to the application for a group's deliveries.
+// The zero-copy receive path makes every downstream consumer hold slices
+// of the arrival datagram's single allocation — free at receive time, but
+// a liability for latency-insensitive consumers that keep payloads for a
+// long time: one small retained slice pins its whole (possibly multi-KB)
+// BatchFrame. The copy-out modes detach accepted messages from the
+// arrival buffer at receive time, so the datagram is released the moment
+// its handling returns.
+enum class DeliveryMode : std::uint8_t {
+  kZeroCopySlice = 0,  // slices of the arrival buffer (lowest latency)
+  kCopyOut = 1,        // plain right-sized heap copies
+  kPooledCopy = 2,     // right-sized copies drawn from the host BufferPool
+};
+
 struct GroupOptions {
   OrderMode mode = OrderMode::kSymmetric;
   Guarantee guarantee = Guarantee::kTotalOrder;
+  // Local consumption preference (not part of the group-wide agreement
+  // and not carried on the wire): each member picks how payloads are
+  // handed to *its* application. Invite-formed members default to
+  // kZeroCopySlice.
+  DeliveryMode delivery = DeliveryMode::kZeroCopySlice;
   // §4's static failure-free configuration: the failure suspector is off
   // and, in asymmetric groups, only the sequencer runs time-silence ("It
   // is necessary for only the sequencer of a group to operate the

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "core/group_host_mailbox.h"
 #include "util/check.h"
 
 namespace newtop::runtime {
@@ -22,7 +23,7 @@ sim::Time steady_now_us() {
 
 // One endpoint + its owner thread. The mailbox carries both peer messages
 // and application commands; the owner drains it, then ticks the endpoint.
-class ThreadedRuntime::Worker {
+class ThreadedRuntime::Worker : public MailboxGroupHost {
  public:
   Worker(ProcessId id, const RuntimeConfig& cfg, ThreadedRuntime& rt,
          util::BufferPoolPtr pool)
@@ -34,15 +35,18 @@ class ThreadedRuntime::Worker {
       // endpoint, so outbox_ needs no lock.
       outbox_[to].push_back(std::move(data));
     };
-    hooks.deliver = [this](const Delivery& d) {
-      std::scoped_lock lock(log_mutex_);
-      deliveries_.push_back(d);
+    hooks.on_event = [this](const Event& ev) {
+      {
+        std::scoped_lock lock(log_mutex_);
+        if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
+          deliveries_.push_back(d->delivery);
+        } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
+          views_.emplace_back(v->group, v->view);
+        }
+      }
+      // User sink outside the log lock: it may take snapshots.
+      if (cfg_.on_event) cfg_.on_event(id_, ev);
     };
-    hooks.view_change = [this](GroupId g, const View& v) {
-      std::scoped_lock lock(log_mutex_);
-      views_.emplace_back(g, v);
-    };
-    hooks.formation_result = [](GroupId, FormationOutcome) {};
     hooks.buffer_pool = pool_;
     endpoint_ = std::make_unique<Endpoint>(id, cfg_.endpoint,
                                            std::move(hooks));
@@ -59,16 +63,28 @@ class ThreadedRuntime::Worker {
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();
+    // Drop commands that never ran: destroying them breaks their
+    // promises / fires their completion guards, so a GroupHandle blocked
+    // on one unblocks (kNotMember) instead of waiting for the runtime's
+    // destruction. Destroyed outside the mailbox lock — a completion
+    // callback may re-enter this worker.
+    std::deque<Item> dropped;
+    {
+      std::scoped_lock lock(mutex_);
+      dropped.swap(inbox_);
+    }
   }
 
   void crash() {
+    std::deque<Item> dropped;
     {
       std::scoped_lock lock(mutex_);
       stopping_ = true;
       crashed_ = true;
-      inbox_.clear();
+      dropped.swap(inbox_);
     }
     cv_.notify_all();
+    // `dropped` destroyed here, outside the lock (see stop()).
   }
 
   void enqueue_message(ProcessId from, util::SharedBytes data) {
@@ -80,13 +96,20 @@ class ThreadedRuntime::Worker {
     cv_.notify_all();
   }
 
-  void enqueue_command(std::function<void(Endpoint&, sim::Time)> fn) {
+  // False when the worker is stopping and the command was dropped.
+  bool enqueue_command(std::function<void(Endpoint&, sim::Time)> fn) {
     {
       std::scoped_lock lock(mutex_);
-      if (stopping_) return;
+      if (stopping_) return false;
       inbox_.push_back(Item{Item::kCommand, 0, {}, std::move(fn)});
     }
     cv_.notify_all();
+    return true;
+  }
+
+  SendCounts send_counts() const {
+    std::scoped_lock lock(log_mutex_);
+    return send_counts_;
   }
 
   std::vector<Delivery> deliveries() const {
@@ -120,6 +143,15 @@ class ThreadedRuntime::Worker {
     util::SharedBytes data;
     std::function<void(Endpoint&, sim::Time)> fn;
   };
+
+  // ---- MailboxGroupHost (blocking facade; ThreadedRuntime::group) -----
+  bool enqueue_host_command(HostCommand fn) override {
+    return enqueue_command(std::move(fn));
+  }
+  void record_host_send(SendResult r) override {
+    std::scoped_lock lock(log_mutex_);
+    send_counts_.note(r);
+  }
 
   void run() {
     const auto tick = std::chrono::microseconds(cfg_.tick_interval);
@@ -200,6 +232,7 @@ class ThreadedRuntime::Worker {
   mutable std::mutex log_mutex_;
   std::vector<Delivery> deliveries_;
   std::vector<std::pair<GroupId, View>> views_;
+  SendCounts send_counts_;
 };
 
 ThreadedRuntime::ThreadedRuntime(std::size_t processes, RuntimeConfig config)
@@ -238,11 +271,17 @@ void ThreadedRuntime::initiate_group(ProcessId p, GroupId g,
       });
 }
 
-void ThreadedRuntime::multicast(ProcessId p, GroupId g, util::Bytes payload) {
-  worker(p).enqueue_command(
-      [g, payload = std::move(payload)](Endpoint& e, sim::Time now) {
-        e.multicast(g, payload, now);
-      });
+void ThreadedRuntime::multicast(ProcessId p, GroupId g, util::Bytes payload,
+                                std::function<void(SendResult)> done) {
+  worker(p).async_multicast(g, std::move(payload), std::move(done));
+}
+
+GroupHandle ThreadedRuntime::group(ProcessId p, GroupId g) {
+  return GroupHandle(&worker(p), g);
+}
+
+SendCounts ThreadedRuntime::send_counts(ProcessId p) const {
+  return worker(p).send_counts();
 }
 
 void ThreadedRuntime::leave_group(ProcessId p, GroupId g) {

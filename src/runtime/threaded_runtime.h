@@ -32,6 +32,11 @@ struct RuntimeConfig {
   // encodes draw from it, and a receiving worker's release recycles the
   // buffer for the next sender. enabled = false disables pooling.
   util::BufferPoolConfig pool;
+  // Application event sink (core/api.h): called on the owner thread of
+  // the emitting process, after the worker's observation logs recorded
+  // the event. Must not block on GroupHandle calls into the same process
+  // (those marshal back onto the owner thread and would deadlock).
+  std::function<void(ProcessId, const Event&)> on_event;
 };
 
 class ThreadedRuntime {
@@ -49,14 +54,27 @@ class ThreadedRuntime {
                     GroupOptions options = {});
   void initiate_group(ProcessId p, GroupId g, std::vector<ProcessId> members,
                       GroupOptions options = {});
-  void multicast(ProcessId p, GroupId g, util::Bytes payload);
+  // The engine's admission verdict is recorded in the worker's
+  // SendCounts (send_counts) and, when `done` is provided, reported
+  // through it from the owner thread. A command dropped because the
+  // worker stopped/crashed reports kNotMember.
+  void multicast(ProcessId p, GroupId g, util::Bytes payload,
+                 std::function<void(SendResult)> done = {});
   void leave_group(ProcessId p, GroupId g);
   void crash(ProcessId p);  // stops the worker without draining
+
+  // Facade over process p's membership in g (see api.h). multicast /
+  // view / retention_stats marshal onto the owner thread and block for
+  // the result — do not call them from an event sink or any code running
+  // on that worker's own thread.
+  GroupHandle group(ProcessId p, GroupId g);
 
   // Snapshot of everything process p has delivered so far.
   std::vector<Delivery> deliveries(ProcessId p) const;
   // Snapshot of the views process p has installed (per group, in order).
   std::vector<std::pair<GroupId, View>> views(ProcessId p) const;
+  // Per-result multicast admission tally for process p.
+  SendCounts send_counts(ProcessId p) const;
 
   // Blocks until every process has delivered at least n messages in group
   // g, or the timeout expires. Returns true on success.

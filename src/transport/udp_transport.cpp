@@ -104,15 +104,18 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
   hooks.send = [this](ProcessId to, util::SharedBytes data) {
     router_->send(to, std::move(data), now_us());
   };
-  hooks.deliver = [this](const Delivery& d) {
-    std::scoped_lock lock(log_mutex_);
-    deliveries_.push_back(d);
+  hooks.on_event = [this](const Event& ev) {
+    {
+      std::scoped_lock lock(log_mutex_);
+      if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
+        deliveries_.push_back(d->delivery);
+      } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
+        views_.emplace_back(v->group, v->view);
+      }
+    }
+    // User sink outside the log lock: it may take snapshots.
+    if (cfg_.on_event) cfg_.on_event(ev);
   };
-  hooks.view_change = [this](GroupId g, const View& v) {
-    std::scoped_lock lock(log_mutex_);
-    views_.emplace_back(g, v);
-  };
-  hooks.formation_result = [](GroupId, FormationOutcome) {};
   hooks.buffer_pool = pool_;
   endpoint_ = std::make_unique<Endpoint>(id_, cfg_.endpoint,
                                          std::move(hooks));
@@ -143,6 +146,27 @@ void UdpNode::stop() {
     stopping_ = true;
   }
   if (thread_.joinable()) thread_.join();
+  // Drop commands that never ran: destroying them breaks their promises
+  // / fires their completion guards, so a blocked GroupHandle call
+  // unblocks (kNotMember) instead of hanging. Destroyed outside the
+  // mutex — a completion callback may re-enter this node.
+  std::deque<std::function<void(Endpoint&, sim::Time)>> dropped;
+  {
+    std::scoped_lock lock(mutex_);
+    dropped.swap(commands_);
+  }
+}
+
+bool UdpNode::enqueue_host_command(HostCommand fn) {
+  std::scoped_lock lock(mutex_);
+  if (stopping_) return false;
+  commands_.push_back(std::move(fn));
+  return true;
+}
+
+void UdpNode::record_host_send(SendResult r) {
+  std::scoped_lock lock(log_mutex_);
+  send_counts_.note(r);
 }
 
 void UdpNode::run() {
@@ -198,8 +222,7 @@ void UdpNode::run() {
 
 void UdpNode::create_group(GroupId g, std::vector<ProcessId> members,
                            GroupOptions options) {
-  std::scoped_lock lock(mutex_);
-  commands_.push_back(
+  enqueue_host_command(
       [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
         e.create_group(g, members, options, now);
       });
@@ -207,25 +230,22 @@ void UdpNode::create_group(GroupId g, std::vector<ProcessId> members,
 
 void UdpNode::initiate_group(GroupId g, std::vector<ProcessId> members,
                              GroupOptions options) {
-  std::scoped_lock lock(mutex_);
-  commands_.push_back(
+  enqueue_host_command(
       [g, members = std::move(members), options](Endpoint& e, sim::Time now) {
         e.initiate_group(g, members, options, now);
       });
 }
 
-void UdpNode::multicast(GroupId g, util::Bytes payload) {
-  std::scoped_lock lock(mutex_);
-  commands_.push_back(
-      [g, payload = std::move(payload)](Endpoint& e, sim::Time now) {
-        e.multicast(g, payload, now);
-      });
+void UdpNode::multicast(GroupId g, util::Bytes payload,
+                        std::function<void(SendResult)> done) {
+  async_multicast(g, std::move(payload), std::move(done));
 }
 
-void UdpNode::leave_group(GroupId g) {
-  std::scoped_lock lock(mutex_);
-  commands_.push_back(
-      [g](Endpoint& e, sim::Time now) { e.leave_group(g, now); });
+void UdpNode::leave_group(GroupId g) { group_leave(g); }
+
+SendCounts UdpNode::send_counts() const {
+  std::scoped_lock lock(log_mutex_);
+  return send_counts_;
 }
 
 std::vector<Delivery> UdpNode::deliveries() const {

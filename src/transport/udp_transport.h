@@ -25,6 +25,7 @@
 
 #include "core/config.h"
 #include "core/endpoint.h"
+#include "core/group_host_mailbox.h"
 #include "transport/router.h"
 
 namespace newtop::transport {
@@ -64,10 +65,17 @@ struct UdpNodeConfig {
   // Per-node buffer pool: recycles rx datagram buffers and tx packet
   // encodes. enabled = false falls back to plain heap allocation.
   util::BufferPoolConfig pool;
+  // Application event sink (core/api.h): called on the node's loop
+  // thread after the observation logs recorded the event. Must not block
+  // on this node's GroupHandle calls (they marshal back onto the loop).
+  EventSink on_event;
 };
 
-// A complete Newtop process on a UDP socket.
-class UdpNode {
+// A complete Newtop process on a UDP socket. Exposes the same
+// GroupHandle/event-sink surface as SimWorld and ThreadedRuntime (the
+// blocking facade comes from MailboxGroupHost, marshalled onto the
+// node's loop thread).
+class UdpNode : public MailboxGroupHost {
  public:
   // Port 0 = ephemeral; read the actual port with port().
   UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config);
@@ -86,22 +94,35 @@ class UdpNode {
   void start();
   void stop();  // joins the loop thread; idempotent
 
-  // Application commands, marshalled onto the loop thread.
+  // Application commands, marshalled onto the loop thread. The
+  // multicast admission verdict is recorded in the node's SendCounts
+  // and, when `done` is provided, reported through it from the loop
+  // thread (kNotMember if the node stopped before executing it).
   void create_group(GroupId g, std::vector<ProcessId> members,
                     GroupOptions options = {});
   void initiate_group(GroupId g, std::vector<ProcessId> members,
                       GroupOptions options = {});
-  void multicast(GroupId g, util::Bytes payload);
+  void multicast(GroupId g, util::Bytes payload,
+                 std::function<void(SendResult)> done = {});
   void leave_group(GroupId g);
+
+  // Facade over this node's membership in g (see api.h). multicast /
+  // view / retention_stats marshal onto the loop thread and block for
+  // the result — do not call them from the loop thread itself.
+  GroupHandle group(GroupId g) { return GroupHandle(this, g); }
 
   // Thread-safe observation snapshots.
   std::vector<Delivery> deliveries() const;
   std::vector<std::pair<GroupId, View>> views() const;
   std::size_t delivery_count(GroupId g) const;
+  SendCounts send_counts() const;
 
  private:
   void run();
   sim::Time now_us() const;
+  // MailboxGroupHost: the loop thread is the owner.
+  bool enqueue_host_command(HostCommand fn) override;
+  void record_host_send(SendResult r) override;
 
   ProcessId id_;
   UdpNodeConfig cfg_;
@@ -124,6 +145,7 @@ class UdpNode {
   mutable std::mutex log_mutex_;
   std::vector<Delivery> deliveries_;
   std::vector<std::pair<GroupId, View>> views_;
+  SendCounts send_counts_;
 };
 
 }  // namespace newtop::transport

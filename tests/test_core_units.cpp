@@ -165,7 +165,7 @@ TEST(EndpointUnit, LeaveIsIdempotentAndSafe) {
   w.ep(0).leave_group(1, w.now());  // no-op
   EXPECT_FALSE(w.ep(0).is_member(1));
   // Multicast to the departed group fails cleanly.
-  EXPECT_FALSE(w.multicast(0, 1, "ghost"));
+  EXPECT_EQ(w.multicast(0, 1, "ghost"), SendResult::kNotMember);
 }
 
 TEST(EndpointUnit, MessagesForUnknownGroupIgnored) {

@@ -61,13 +61,40 @@ TEST(Formation, SendsQueuedDuringFormationAreDeliveredAfter) {
   // multicast() during formation queues locally and flushes at step 5.
   SimWorld w(world_cfg(3));
   w.ep(0).initiate_group(1, {0, 1, 2}, {}, w.now());
-  EXPECT_TRUE(w.ep(0).multicast(1, simhost::to_bytes("eager"), w.now()));
+  EXPECT_EQ(w.ep(0).multicast(1, simhost::to_bytes("eager"), w.now()),
+            SendResult::kQueued);
   w.run_for(5 * kSecond);
   for (ProcessId p = 0; p < 3; ++p) {
     EXPECT_EQ(w.process(p).delivered_strings(1),
               std::vector<std::string>{"eager"})
         << "P" << p;
   }
+}
+
+TEST(Formation, AbortDropsSendsQueuedDuringFormation) {
+  // Sends parked during a formation die with it: after the initiator's
+  // timeout veto, nothing stays queued, and re-creating the same group
+  // id must not replay the doomed payload into the new membership.
+  SimWorld w(world_cfg(3));
+  w.crash(2);  // invitee never votes -> initiator vetoes on timeout
+  w.ep(0).initiate_group(1, {0, 1, 2}, {}, w.now());
+  EXPECT_EQ(w.ep(0).multicast(1, simhost::to_bytes("doomed"), w.now()),
+            SendResult::kQueued);
+  EXPECT_EQ(w.ep(0).queued_sends(), 1u);
+  // The initiator vetoes at formation_timeout; the invitee gives up
+  // unilaterally at twice that. Wait for both before reusing the id.
+  ASSERT_TRUE(w.run_until_pred(
+      [&] { return !w.ep(0).is_member(1) && !w.ep(1).is_member(1); },
+      10 * kSecond));
+  EXPECT_EQ(w.ep(0).queued_sends(), 0u);
+
+  // Fresh static group under the same id: only its own traffic appears.
+  w.ep(0).create_group(1, {0, 1}, {}, w.now());
+  w.ep(1).create_group(1, {0, 1}, {}, w.now());
+  w.multicast(0, 1, "fresh");
+  w.run_for(2 * kSecond);
+  EXPECT_EQ(w.process(1).delivered_strings(1),
+            std::vector<std::string>{"fresh"});
 }
 
 TEST(Formation, VetoAbortsEveryone) {

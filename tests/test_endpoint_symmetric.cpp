@@ -222,9 +222,40 @@ TEST(Symmetric, NullsAreNotDeliveredToApplication) {
   EXPECT_GT(w.ep(0).stats().nulls_sent, 5u);
 }
 
-TEST(Symmetric, MulticastToUnknownGroupReturnsFalse) {
+TEST(Symmetric, MulticastToUnknownGroupReportsNotMember) {
   SimWorld w(small_world(2));
-  EXPECT_FALSE(w.multicast(0, 42, "nope"));
+  EXPECT_EQ(w.multicast(0, 42, "nope"), SendResult::kNotMember);
+}
+
+TEST(Symmetric, BackpressureOverSimWorldDrainsAndSignalsWindow) {
+  // A zero-time flood through the GroupHandle facade: the flow window
+  // parks sends, max_pending_sends bounds the parking, the overflow is
+  // rejected as kBackpressure — and once the backlog drains, the host's
+  // event log shows the SendWindowEvent and every *accepted* message
+  // still delivers identically everywhere.
+  WorldConfig cfg = small_world(3);
+  cfg.host.endpoint.flow_window = 4;
+  cfg.host.endpoint.max_pending_sends = 8;
+  SimWorld w(cfg);
+  w.create_group(1, {0, 1, 2});
+
+  GroupHandle h = w.group(0, 1);
+  SendCounts counts;
+  for (int i = 0; i < 100; ++i) {
+    counts.note(h.multicast(simhost::to_bytes("f" + std::to_string(i))));
+  }
+  EXPECT_GT(counts.accepted(), 0u);
+  EXPECT_GT(counts.backpressure, 0u);
+  EXPECT_EQ(counts.total(), 100u);
+  // The cap bounds the local backlog at the moment of the flood.
+  EXPECT_LE(w.ep(0).queued_sends(), 8u);
+
+  w.run_for(3 * kSecond);
+  EXPECT_GE(w.process(0).send_windows.size(), 1u);
+  EXPECT_EQ(w.process(0).send_windows[0].event.group, 1u);
+  expect_identical_delivery(w, 1, {0, 1, 2},
+                            static_cast<std::size_t>(counts.accepted()));
+  EXPECT_EQ(w.ep(0).stats().sends_rejected, counts.backpressure);
 }
 
 TEST(Symmetric, StabilityBoundsRetention) {

@@ -5,7 +5,9 @@
 // shutdown) and that the engine behaves identically under real threads.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <string>
 
 #include "runtime/threaded_runtime.h"
@@ -121,6 +123,82 @@ TEST(ThreadedRuntime, DynamicFormationUnderThreads) {
   rt.multicast(1, 5, bytes_of("formed"));
   ASSERT_TRUE(rt.wait_for_deliveries(5, 1, 10s));
   rt.shutdown();
+}
+
+TEST(ThreadedRuntime, MulticastPropagatesSendResult) {
+  // The async multicast no longer swallows the engine's admission
+  // verdict: it reaches the completion callback and the per-worker
+  // SendCounts tally.
+  ThreadedRuntime rt(2, fast_cfg());
+  rt.create_group(0, 1, {0, 1});
+  rt.create_group(1, 1, {0, 1});
+  std::this_thread::sleep_for(100ms);  // bootstrap settle
+
+  std::promise<SendResult> ok_result;
+  rt.multicast(0, 1, bytes_of("x"),
+               [&](SendResult r) { ok_result.set_value(r); });
+  ASSERT_TRUE(send_accepted(ok_result.get_future().get()));
+
+  // Not a member of group 99: the rejection must surface, not vanish.
+  std::promise<SendResult> bad_result;
+  rt.multicast(0, 99, bytes_of("y"),
+               [&](SendResult r) { bad_result.set_value(r); });
+  EXPECT_EQ(bad_result.get_future().get(), SendResult::kNotMember);
+
+  ASSERT_TRUE(rt.wait_for_deliveries(1, 1, 10s));
+  const SendCounts counts = rt.send_counts(0);
+  EXPECT_EQ(counts.accepted(), 1u);
+  EXPECT_EQ(counts.not_member, 1u);
+  EXPECT_EQ(counts.backpressure, 0u);
+  EXPECT_EQ(counts.total(), 2u);
+  rt.shutdown();
+}
+
+TEST(ThreadedRuntime, GroupHandleFacade) {
+  // The same GroupHandle surface as SimWorld / UdpNode, marshalled onto
+  // the owner thread: multicast returns the verdict synchronously, view
+  // and retention_stats query live engine state, leave departs.
+  RuntimeConfig cfg = fast_cfg();
+  std::atomic<int> delivery_events{0};
+  cfg.on_event = [&](ProcessId, const Event& ev) {
+    if (std::holds_alternative<DeliveryEvent>(ev)) ++delivery_events;
+  };
+  ThreadedRuntime rt(2, cfg);
+  rt.create_group(0, 1, {0, 1});
+  rt.create_group(1, 1, {0, 1});
+  std::this_thread::sleep_for(100ms);  // bootstrap settle
+
+  GroupHandle h = rt.group(0, 1);
+  EXPECT_EQ(h.id(), 1u);
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(send_accepted(h.multicast(bytes_of("via-handle"))));
+  ASSERT_TRUE(rt.wait_for_deliveries(1, 1, 10s));
+  EXPECT_GE(delivery_events.load(), 2);  // one per member
+
+  const auto v = h.view();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->members, (std::vector<ProcessId>{0, 1}));
+  const RetentionStats rs = h.retention_stats();
+  EXPECT_LE(rs.used_bytes, rs.pinned_bytes);  // well-formed snapshot
+
+  // Unknown group: rejected through the same surface.
+  EXPECT_EQ(rt.group(0, 77).multicast(bytes_of("zz")),
+            SendResult::kNotMember);
+
+  // Departure through the handle: the membership (and the view) go away.
+  h.leave();
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool gone = false;
+  while (std::chrono::steady_clock::now() < deadline && !gone) {
+    gone = !h.view().has_value();
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(gone);
+  EXPECT_EQ(h.multicast(bytes_of("after-leave")), SendResult::kNotMember);
+  rt.shutdown();
+  // After shutdown every handle call degrades to the rejecting default.
+  EXPECT_EQ(h.multicast(bytes_of("post-shutdown")), SendResult::kNotMember);
+  EXPECT_FALSE(h.view().has_value());
 }
 
 TEST(ThreadedRuntime, CleanShutdownIsIdempotent) {

@@ -25,18 +25,38 @@ util::Bytes bytes_of(const std::string& s) {
 }
 
 // A bare endpoint with capture-everything hooks; no transport, no host.
+// Uses the legacy `deliver` hook AND the unified event sink — both are
+// fed by the engine (migration mode), so `delivered` exercises the
+// adapter while `events` sees the full typed stream.
 struct Harness {
   std::vector<Delivery> delivered;
   std::vector<std::pair<ProcessId, util::SharedBytes>> sent;
+  std::vector<Event> events;
   std::unique_ptr<Endpoint> ep;
 
-  explicit Harness(ProcessId self, Config cfg = {}) {
+  explicit Harness(ProcessId self, Config cfg = {},
+                   util::BufferPoolPtr pool = nullptr) {
     EndpointHooks hooks;
     hooks.send = [this](ProcessId to, util::SharedBytes data) {
       sent.emplace_back(to, std::move(data));
     };
     hooks.deliver = [this](const Delivery& d) { delivered.push_back(d); };
+    // Deliveries are captured through the legacy hook above; recording
+    // the DeliveryEvent here too would hold a second payload reference
+    // and distort the buffer-lifetime tests.
+    hooks.on_event = [this](const Event& ev) {
+      if (!std::holds_alternative<DeliveryEvent>(ev)) events.push_back(ev);
+    };
+    hooks.buffer_pool = std::move(pool);
     ep = std::make_unique<Endpoint>(self, cfg, std::move(hooks));
+  }
+
+  std::size_t count_send_window_events() const {
+    std::size_t n = 0;
+    for (const auto& ev : events) {
+      if (std::holds_alternative<SendWindowEvent>(ev)) ++n;
+    }
+    return n;
   }
 };
 
@@ -95,7 +115,7 @@ TEST(RxPath, QueuedDeliverySlicesOutliveBatchedDatagram) {
 
   // P1's own multicast stamps counter 3 (CA2 observed 2) and raises
   // rv[1]; D reaches 2 and the queued slices deliver in order.
-  ASSERT_TRUE(h.ep->multicast(1, bytes_of("own"), 2));
+  ASSERT_EQ(h.ep->multicast(1, bytes_of("own"), 2), SendResult::kSent);
   ASSERT_EQ(h.delivered.size(), 2u);
   EXPECT_EQ(h.delivered[0].payload, bytes_of("first"));
   EXPECT_EQ(h.delivered[1].payload, bytes_of("second"));
@@ -318,6 +338,176 @@ TEST(RxPath, SuspicionHeldMessagesCompactToo) {
   h.ep->on_message(2, refute.encode(), cfg.omega_big + 4);
   ASSERT_EQ(h.delivered.size(), 1u);
   EXPECT_EQ(h.delivered[0].payload, bytes_of("held"));
+}
+
+// ---------------------------------------------------------------------
+// Delivery ownership modes (GroupOptions::delivery)
+// ---------------------------------------------------------------------
+
+TEST(RxPath, CopyOutReleasesArrivalDatagramAtHandlingReturn) {
+  // kCopyOut detaches every accepted message from its arrival buffer at
+  // receive time: the moment on_message returns (and the test drops its
+  // own reference), nothing — not the recorded Delivery, not recovery
+  // retention — pins the datagram. Contrast with
+  // DeliveredSliceOutlivesArrivalDatagram above, where kZeroCopySlice
+  // keeps it alive.
+  Harness h(1);
+  GroupOptions opts;
+  opts.guarantee = Guarantee::kAtomicOnly;
+  opts.delivery = DeliveryMode::kCopyOut;
+  h.ep->create_group(1, {0, 1}, opts, 0);
+
+  util::SharedBytes datagram = util::share(encode_app(1, 0, 1, "keepme"));
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_TRUE(watch.expired());  // retention + delivery hold copies
+  EXPECT_EQ(h.delivered[0].payload, bytes_of("keepme"));
+  EXPECT_GT(h.ep->stats().arrival_detach_copies, 0u);
+  EXPECT_GT(h.ep->retained_messages(1), 0u);  // retention intact, detached
+}
+
+TEST(RxPath, CopyOutReleasesBatchFrameWhileMessagesStillQueued) {
+  // Total-order group: the messages wait in the delivery queue, but the
+  // queue holds detached copies — the batched arrival buffer dies the
+  // moment its handling returns, long before delivery.
+  Harness h(1);
+  GroupOptions opts;
+  opts.delivery = DeliveryMode::kCopyOut;
+  h.ep->create_group(1, {0, 1}, opts, 0);
+
+  BatchFrame frame;
+  frame.payloads = {encode_app(1, 0, 1, "first"),
+                    encode_app(1, 0, 2, "second")};
+  util::SharedBytes datagram = util::share(frame.encode());
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+
+  EXPECT_EQ(h.delivered.size(), 0u);
+  EXPECT_EQ(h.ep->queued_deliveries(), 2u);
+  EXPECT_TRUE(watch.expired());  // the queue pins copies, not the frame
+
+  ASSERT_EQ(h.ep->multicast(1, bytes_of("own"), 2), SendResult::kSent);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].payload, bytes_of("first"));
+  EXPECT_EQ(h.delivered[1].payload, bytes_of("second"));
+}
+
+TEST(RxPath, PooledCopyDrawsFromHostPoolAndReleasesArrival) {
+  // kPooledCopy behaves like kCopyOut but recycles the detach buffers
+  // through the host's BufferPool, so steady-state detaching costs no
+  // allocator traffic.
+  auto pool = util::BufferPool::create();
+  Config cfg;
+  Harness h(1, cfg, pool);
+  GroupOptions opts;
+  opts.guarantee = Guarantee::kAtomicOnly;
+  opts.delivery = DeliveryMode::kPooledCopy;
+  h.ep->create_group(1, {0, 1}, opts, 0);
+
+  const util::BufferPoolStats before = pool->stats();
+  util::SharedBytes datagram = util::share(encode_app(1, 0, 1, "pooled"));
+  std::weak_ptr<const util::Bytes> watch = datagram;
+  h.ep->on_message(0, util::BytesView(datagram), 1);
+  datagram.reset();
+
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(h.delivered[0].payload, bytes_of("pooled"));
+  const util::BufferPoolStats after = pool->stats();
+  EXPECT_GT(after.shares, before.shares);  // detach went through the pool
+
+  // Round-trip: once the app and the engine drop the detach buffer (the
+  // delivery log cleared, retention gone with the membership), its
+  // storage lands back in the pool and the next detach reuses it.
+  h.delivered.clear();
+  h.ep->leave_group(1, 2);  // drops retention -> pooled buffer recycles
+  h.ep->create_group(1, {0, 1}, opts, 3);
+  h.ep->on_message(0, encode_app(1, 0, 1, "again"), 4);
+  EXPECT_GT(pool->stats().acquire_hits, before.acquire_hits);
+}
+
+TEST(RxPath, ZeroCopySliceRemainsTheDefault) {
+  GroupOptions opts;
+  EXPECT_EQ(opts.delivery, DeliveryMode::kZeroCopySlice);
+}
+
+// ---------------------------------------------------------------------
+// Send backpressure (Config::max_pending_sends) + SendWindowEvent
+// ---------------------------------------------------------------------
+
+TEST(RxPath, BackpressureCapRejectsAndWindowEventFiresOnceOnDrain) {
+  // flow_window = 1 parks every send after the first; max_pending_sends
+  // = 2 bounds that parking. A burst then yields kSent, kQueued x2,
+  // kBackpressure — and when stability drains the flow window, exactly
+  // one SendWindowEvent announces the reopening.
+  Config cfg;
+  cfg.flow_window = 1;
+  cfg.max_pending_sends = 2;
+  Harness h(1, cfg);
+  h.ep->create_group(1, {0, 1}, {}, 0);
+
+  EXPECT_EQ(h.ep->multicast(1, bytes_of("m1"), 1), SendResult::kSent);
+  EXPECT_EQ(h.ep->multicast(1, bytes_of("m2"), 1), SendResult::kQueued);
+  EXPECT_EQ(h.ep->multicast(1, bytes_of("m3"), 1), SendResult::kQueued);
+  EXPECT_EQ(h.ep->multicast(1, bytes_of("m4"), 1),
+            SendResult::kBackpressure);
+  EXPECT_EQ(h.ep->multicast(1, bytes_of("m5"), 1),
+            SendResult::kBackpressure);
+  EXPECT_EQ(h.ep->queued_sends(), 2u);
+  EXPECT_EQ(h.ep->stats().sends_rejected, 2u);
+  EXPECT_EQ(h.count_send_window_events(), 0u);  // still closed
+
+  // P0 acknowledges our m1 (ldn = 1): combined with our own next
+  // emission's ldn, stability discards m1, the flow window reopens and
+  // the pump drains one queued send — pending drops under the cap.
+  h.ep->on_message(0, encode_app(1, 0, 5, "ack", /*ldn=*/1), 2);
+  h.ep->on_tick(h.ep->config().omega + 3);
+
+  EXPECT_LT(h.ep->queued_sends(), 2u);
+  EXPECT_EQ(h.count_send_window_events(), 1u);
+  EXPECT_EQ(h.ep->stats().send_window_events, 1u);
+
+  // Re-arm: filling the window again and rejecting again owes exactly
+  // one more event on the next drain.
+  while (h.ep->multicast(1, bytes_of("fill"), 10) !=
+         SendResult::kBackpressure) {
+  }
+  EXPECT_EQ(h.count_send_window_events(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Retention pressure events
+// ---------------------------------------------------------------------
+
+TEST(RxPath, RetentionPressureEventIsEdgeTriggered) {
+  Config cfg;
+  cfg.retention_pressure_bytes = 16;  // any retained content crosses it
+  cfg.retention_compact_ratio = 0;    // keep the footprint put
+  Harness h(1, cfg);
+  h.ep->create_group(1, {0, 1}, {}, 0);
+
+  h.ep->on_message(0, encode_app(1, 0, 1, "bulk-payload-over-threshold"),
+                   1);
+  auto pressure_events = [&] {
+    std::size_t n = 0;
+    for (const auto& ev : h.events) {
+      if (const auto* p = std::get_if<RetentionPressureEvent>(&ev)) {
+        EXPECT_EQ(p->group, 1u);
+        EXPECT_GE(p->stats.pinned_bytes, cfg.retention_pressure_bytes);
+        ++n;
+      }
+    }
+    return n;
+  };
+  h.ep->on_tick(2);
+  EXPECT_EQ(pressure_events(), 1u);
+  h.ep->on_tick(3);  // still above threshold: edge, not level
+  EXPECT_EQ(pressure_events(), 1u);
+  EXPECT_EQ(h.ep->stats().retention_pressure_events, 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -136,6 +137,49 @@ TEST(UdpTransport, NodeStopTriggersViewChange) {
                        10s));
   nodes[0]->stop();
   nodes[1]->stop();
+}
+
+TEST(UdpTransport, GroupHandleFacadeOverLoopback) {
+  // The same GroupHandle surface as SimWorld / ThreadedRuntime, marshalled
+  // onto the node's loop thread, plus SendResult propagation through the
+  // async multicast and the per-node SendCounts.
+  auto nodes = make_mesh(2);
+  std::vector<ProcessId> members{0, 1};
+  for (auto& node : nodes) node->create_group(1, members);
+  std::this_thread::sleep_for(100ms);  // bootstrap settle (see above)
+
+  GroupHandle h = nodes[0]->group(1);
+  EXPECT_TRUE(send_accepted(h.multicast(bytes_of("via-handle"))));
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (auto& node : nodes) {
+          if (node->delivery_count(1) < 1) return false;
+        }
+        return true;
+      },
+      10s));
+  const auto v = h.view();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->members, members);
+  const RetentionStats rs = h.retention_stats();
+  EXPECT_LE(rs.used_bytes, rs.pinned_bytes);
+
+  // Rejections surface instead of vanishing: unknown group over the
+  // handle and over the async path with a completion callback.
+  EXPECT_EQ(nodes[0]->group(42).multicast(bytes_of("x")),
+            SendResult::kNotMember);
+  std::promise<SendResult> bad;
+  nodes[0]->multicast(77, bytes_of("y"),
+                      [&](SendResult r) { bad.set_value(r); });
+  EXPECT_EQ(bad.get_future().get(), SendResult::kNotMember);
+  const SendCounts counts = nodes[0]->send_counts();
+  EXPECT_EQ(counts.accepted(), 1u);
+  EXPECT_EQ(counts.not_member, 2u);
+
+  for (auto& node : nodes) node->stop();
+  // Stopped node: every handle call degrades to the rejecting default.
+  EXPECT_EQ(h.multicast(bytes_of("post-stop")), SendResult::kNotMember);
+  EXPECT_FALSE(h.view().has_value());
 }
 
 TEST(UdpTransport, DynamicFormationOverLoopback) {
