@@ -75,4 +75,78 @@ void BM_FlowWindowThroughputCost(benchmark::State& state) {
 BENCHMARK(BM_FlowWindowThroughputCost)->Arg(8)->Arg(32)->Arg(128)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+// Adaptive transport timing under jitter: a bimodal 1ms/40ms path (30%
+// slow) against the static 20ms RTO, which sits exactly between the two
+// modes — every slow round trip beats the timer and triggers a spurious
+// retransmission. The per-peer estimator must widen past the slow mode
+// and repair measurably less; CI gates the adaptive variant's
+// retransmits_per_msg through bench/baselines.json.
+void run_jitter_flood(bool adaptive, double& retransmits_per_msg,
+                      double& srtt_ms, double& spurious,
+                      std::uint64_t seed) {
+  WorldConfig cfg = default_world(3, seed);
+  cfg.network.latency =
+      sim::LatencyModel::bimodal(1 * kMillisecond, 40 * kMillisecond, 0.3);
+  cfg.host.channel.adaptive_rto = adaptive;
+  SimWorld w(cfg);
+  w.create_group(1, all_members(3));
+  w.run_for(200 * kMillisecond);
+  const auto totals = [&] {
+    transport::ChannelStats t;
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto s = w.process(static_cast<ProcessId>(p)).router().total_stats();
+      t.retransmissions += s.retransmissions;
+      t.spurious_rexmit += s.spurious_rexmit;
+      t.srtt_us = std::max(t.srtt_us, s.srtt_us);
+    }
+    return t;
+  };
+  const std::uint64_t rexmit_before = totals().retransmissions;
+  const int kMsgs = 300;
+  for (int i = 0; i < kMsgs; ++i) {
+    w.multicast(static_cast<ProcessId>(i % 3), 1, "j" + std::to_string(i));
+    w.run_for(5 * kMillisecond);
+  }
+  const bool ok = w.run_until_pred(
+      [&] {
+        for (ProcessId p : all_members(3)) {
+          if (w.process(p).delivered_strings(1).size() <
+              static_cast<std::size_t>(kMsgs))
+            return false;
+        }
+        return true;
+      },
+      w.now() + 120 * kSecond);
+  if (!ok) return;
+  const auto t = totals();
+  retransmits_per_msg =
+      static_cast<double>(t.retransmissions - rexmit_before) / kMsgs;
+  srtt_ms = static_cast<double>(t.srtt_us) / kMillisecond;
+  spurious = static_cast<double>(t.spurious_rexmit);
+}
+
+void BM_FlowJitterRetransmits(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  double retransmits_per_msg = -1, srtt_ms = 0, spurious = 0;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    run_jitter_flood(adaptive, retransmits_per_msg, srtt_ms, spurious,
+                     seed++);
+  }
+  if (retransmits_per_msg < 0) {
+    state.SkipWithError("jitter flood did not fully deliver");
+    return;
+  }
+  state.counters["retransmits_per_msg"] = retransmits_per_msg;
+  state.counters["srtt_ms"] = srtt_ms;
+  state.counters["spurious_rexmit"] = spurious;
+  emit_bench_json(
+      std::string("flow_jitter/") + (adaptive ? "adaptive" : "static"),
+      {{"retransmits_per_msg", retransmits_per_msg},
+       {"srtt_ms", srtt_ms},
+       {"spurious_rexmit", spurious}});
+}
+BENCHMARK(BM_FlowJitterRetransmits)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -18,15 +18,22 @@ using namespace newtop::benchutil;
 struct PartitionRun {
   double ms = -1.0;           // stabilisation time; -1 on timeout
   double bytes_wasted = 0;    // offered but not delivered (cut + loss)
+  double spurious_rexmit = 0; // acks that outran a retransmission
 };
 
 // Splits [0, n) into [0, k) and [k, n); measures stabilisation time
 // (both sides' views == exactly their own side) and the byte overhead the
 // partition causes (datagrams sent into the cut, counted by
-// NetworkStats::bytes_sent - bytes_delivered).
+// NetworkStats::bytes_sent - bytes_delivered). Runs with adaptive
+// transport timing: a partition is where the RTO machinery earns its
+// keep (backoff during the cut, estimator-driven re-seeding after), and
+// the spurious_rexmit counter surfaces retransmissions the adaptive
+// timer still wasted.
 PartitionRun partition_stabilise(std::size_t n, std::size_t k,
                                  std::uint64_t seed) {
-  SimWorld w(default_world(n, seed));
+  WorldConfig wcfg = default_world(n, seed);
+  wcfg.host.channel.adaptive_rto = true;
+  SimWorld w(wcfg);
   const auto members = all_members(n);
   w.create_group(1, members);
   w.run_for(300 * kMillisecond);
@@ -41,10 +48,21 @@ PartitionRun partition_stabilise(std::size_t n, std::size_t k,
       vb.push_back(static_cast<ProcessId>(i));
     }
   }
+  const auto total_spurious = [&w, n] {
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      total += w.process(static_cast<ProcessId>(p))
+                   .router()
+                   .total_stats()
+                   .spurious_rexmit;
+    }
+    return total;
+  };
   const sim::Time t0 = w.now();
   const auto& net_stats = w.network().stats();
   const std::uint64_t wasted_before =
       net_stats.bytes_sent - net_stats.bytes_delivered;
+  const std::uint64_t spurious_before = total_spurious();
   w.partition({a, b});
   const bool ok = w.run_until_pred(
       [&] {
@@ -64,6 +82,8 @@ PartitionRun partition_stabilise(std::size_t n, std::size_t k,
     run.ms = static_cast<double>(w.now() - t0) / kMillisecond;
     run.bytes_wasted = static_cast<double>(
         net_stats.bytes_sent - net_stats.bytes_delivered - wasted_before);
+    run.spurious_rexmit =
+        static_cast<double>(total_spurious() - spurious_before);
   }
   return run;
 }
@@ -72,20 +92,24 @@ void BM_PartitionStabiliseVsGroupSize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Samples samples;
   util::Samples wasted;
+  util::Samples spurious;
   std::uint64_t seed = 1;
   for (auto _ : state) {
     const PartitionRun run = partition_stabilise(n, n / 2, seed++);
     if (run.ms >= 0) {
       samples.add(run.ms);
       wasted.add(run.bytes_wasted);
+      spurious.add(run.spurious_rexmit);
     }
   }
   if (!samples.empty()) {
     state.counters["stabilise_ms_mean"] = samples.mean();
     state.counters["bytes_wasted_mean"] = wasted.mean();
+    state.counters["spurious_rexmit_mean"] = spurious.mean();
     emit_bench_json("partition_stabilise/n" + std::to_string(n),
                     {{"stabilise_ms_mean", samples.mean()},
-                     {"bytes_wasted_mean", wasted.mean()}});
+                     {"bytes_wasted_mean", wasted.mean()},
+                     {"spurious_rexmit_mean", spurious.mean()}});
   }
 }
 BENCHMARK(BM_PartitionStabiliseVsGroupSize)->Arg(4)->Arg(6)->Arg(8)->Arg(12)

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare BENCH_JSON lines against checked-in baselines.
+
+Every benchmark emits machine-readable result lines of the form
+
+    BENCH_JSON {"bench":"<name>","metric1":v1,"metric2":v2,...}
+
+(see bench/bench_util.h). This script parses every such line from the
+given bench output files and compares the metrics listed in
+bench/baselines.json against their recorded baselines, direction-aware
+and with a per-metric relative tolerance. It replaces ad-hoc grep/awk
+gates in CI: adding a gated metric is one JSON entry, not workflow
+surgery, and the full parsed snapshot is printed (and uploadable as an
+artifact) so the perf trajectory is scrapeable per commit.
+
+Baselines format (bench/baselines.json):
+
+    {
+      "metrics": {
+        "<bench>:<metric>": {
+          "baseline":  4.25,      // reference value
+          "direction": "lower",   // "lower"|"higher" = which way is better
+          "tolerance": 0.10,      // allowed relative regression (0.10 = 10%)
+          "note":      "why this metric is gated"
+        }, ...
+      }
+    }
+
+A "lower"-is-better metric fails when value > baseline * (1 + tolerance);
+a "higher"-is-better metric fails when value < baseline * (1 - tolerance).
+Improvements never fail; refresh the baseline with --update to lock a win
+in (direction/tolerance/note are preserved, only the values move).
+
+Gated metrics are fail-closed: a missing bench line or metric key is an
+error, not a pass — a silently skipped benchmark must not look green.
+
+Usage:
+    check_bench.py [--baselines bench/baselines.json] out1 [out2 ...]
+    check_bench.py --update --baselines bench/baselines.json out...
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import re
+import sys
+
+BENCH_JSON_RE = re.compile(r"^BENCH_JSON (\{.*\})\s*$", re.MULTILINE)
+
+
+def parse_bench_outputs(paths):
+    """Returns {bench_name: {metric: value}} from every BENCH_JSON line.
+
+    Later files win on duplicate bench names (should not happen: each
+    bench binary emits its registry once at exit).
+    """
+    results = {}
+    seen_files = 0
+    for pattern in paths:
+        expanded = sorted(glob.glob(pattern)) or [pattern]
+        for path in expanded:
+            try:
+                with open(path, "r", encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+            except OSError as e:
+                print(f"error: cannot read bench output {path}: {e}")
+                sys.exit(2)
+            seen_files += 1
+            for m in BENCH_JSON_RE.finditer(text):
+                try:
+                    record = json.loads(m.group(1))
+                except json.JSONDecodeError as e:
+                    print(f"error: malformed BENCH_JSON line in {path}: {e}")
+                    sys.exit(2)
+                name = record.pop("bench", None)
+                if not name:
+                    print(f"error: BENCH_JSON line without 'bench' in {path}")
+                    sys.exit(2)
+                results.setdefault(name, {}).update(record)
+    if seen_files == 0:
+        print("error: no bench output files matched")
+        sys.exit(2)
+    return results
+
+
+def check(results, baselines):
+    """Returns (failures, report_rows) for the gated metrics."""
+    failures = []
+    rows = []
+    for key, spec in sorted(baselines.get("metrics", {}).items()):
+        bench, _, metric = key.partition(":")
+        baseline = float(spec["baseline"])
+        direction = spec.get("direction", "lower")
+        tolerance = float(spec.get("tolerance", 0.0))
+        if direction not in ("lower", "higher"):
+            print(f"error: {key}: bad direction {direction!r}")
+            sys.exit(2)
+        value = results.get(bench, {}).get(metric)
+        if value is None:
+            failures.append(f"{key}: metric missing from bench output "
+                            "(bench skipped, renamed, or metric dropped)")
+            rows.append((key, "MISSING", baseline, direction, tolerance))
+            continue
+        value = float(value)
+        if direction == "lower":
+            limit = baseline * (1.0 + tolerance)
+            ok = value <= limit
+        else:
+            limit = baseline * (1.0 - tolerance)
+            ok = value >= limit
+        rows.append((key, value, baseline, direction, tolerance))
+        if not ok:
+            failures.append(
+                f"{key}: {value:g} regressed past baseline {baseline:g} "
+                f"({direction} is better, tolerance {tolerance:.0%}, "
+                f"limit {limit:g})")
+    return failures, rows
+
+
+def print_report(results, rows):
+    print("== gated metrics ==")
+    width = max((len(r[0]) for r in rows), default=10)
+    for key, value, baseline, direction, tolerance in rows:
+        shown = value if isinstance(value, str) else f"{value:g}"
+        print(f"  {key:<{width}}  value={shown:<12} baseline={baseline:g} "
+              f"({direction} better, tol {tolerance:.0%})")
+    print("== full BENCH_JSON snapshot ==")
+    for bench in sorted(results):
+        metrics = ",".join(f"{k}={v:g}" for k, v in
+                           sorted(results[bench].items()))
+        print(f"  {bench}: {metrics}")
+
+
+def update_baselines(path, baselines, results):
+    metrics = baselines.setdefault("metrics", {})
+    for key, spec in metrics.items():
+        bench, _, metric = key.partition(":")
+        value = results.get(bench, {}).get(metric)
+        if value is None:
+            print(f"warning: {key}: no current value; baseline kept")
+            continue
+        spec["baseline"] = round(float(value), 6)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(baselines, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"updated {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines.json")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the gated baselines from the current "
+                         "outputs instead of checking")
+    ap.add_argument("outputs", nargs="+",
+                    help="bench output files (globs allowed)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baselines, "r", encoding="utf-8") as f:
+            baselines = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load baselines {args.baselines}: {e}")
+        return 2
+
+    results = parse_bench_outputs(args.outputs)
+
+    if args.update:
+        update_baselines(args.baselines, baselines, results)
+        return 0
+
+    failures, rows = check(results, baselines)
+    print_report(results, rows)
+    if failures:
+        print("== FAILURES ==")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print(f"OK: {len(rows)} gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,22 +86,10 @@ class MailboxGroupHost : public GroupHost {
   // Tallies an executed multicast's verdict (host SendCounts).
   virtual void record_host_send(SendResult r) = 0;
 
- private:
-  // Completion guard: reports kNotMember from its destructor when the
-  // command carrying it is destroyed unexecuted.
-  struct SendCompletion {
-    std::function<void(SendResult)> fn;
-    bool fired = false;
-
-    void operator()(SendResult r) {
-      fired = true;
-      if (fn) fn(r);
-    }
-    ~SendCompletion() {
-      if (fn && !fired) fn(SendResult::kNotMember);
-    }
-  };
-
+  // Marshals a blocking call onto the owner thread: enqueues `fn`,
+  // blocks on its promise, and returns `fallback` when the host stopped
+  // before running it (dropped command = broken promise). Hosts reuse
+  // this for their own owner-thread snapshots (e.g. transport stats).
   template <typename T, typename Fn>
   T marshal(T fallback, Fn&& fn) {
     auto prom = std::make_shared<std::promise<T>>();
@@ -118,6 +106,23 @@ class MailboxGroupHost : public GroupHost {
       return fallback;  // mailbox cleared with the command still queued
     }
   }
+
+ private:
+  // Completion guard: reports kNotMember from its destructor when the
+  // command carrying it is destroyed unexecuted.
+  struct SendCompletion {
+    std::function<void(SendResult)> fn;
+    bool fired = false;
+
+    void operator()(SendResult r) {
+      fired = true;
+      if (fn) fn(r);
+    }
+    ~SendCompletion() {
+      if (fn && !fired) fn(SendResult::kNotMember);
+    }
+  };
+
 };
 
 }  // namespace newtop

@@ -238,6 +238,100 @@ std::optional<BatchFrame> BatchFrame::decode(util::BytesView data) {
   return b;
 }
 
+namespace {
+
+// Timing-extension flag byte layout (shared by both channel frames).
+// Unknown bits are ignored on decode; future extensions must not add
+// data the current fields cannot skip, so new variable-length fields
+// need a fresh flag bit here.
+constexpr std::uint8_t kTxStampPresent = 0x01;
+constexpr std::uint8_t kTxStampRexmit = 0x02;
+constexpr std::uint8_t kEchoPresent = 0x04;
+constexpr std::uint8_t kEchoRexmit = 0x08;
+
+void write_timing(util::Writer& w, const std::optional<TimingStamp>& stamp,
+                  const std::optional<TimingStamp>& echo) {
+  std::uint8_t flags = 0;
+  if (stamp) flags |= kTxStampPresent | (stamp->rexmit ? kTxStampRexmit : 0);
+  if (echo) flags |= kEchoPresent | (echo->rexmit ? kEchoRexmit : 0);
+  w.u8(flags);
+  if (stamp) w.varint(stamp->ts);
+  if (echo) w.varint(echo->ts);
+}
+
+void read_timing(util::Reader& r, std::optional<TimingStamp>& stamp,
+                 std::optional<TimingStamp>& echo) {
+  const std::uint8_t flags = r.u8();
+  if (flags & kTxStampPresent) {
+    stamp = TimingStamp{r.varint(), (flags & kTxStampRexmit) != 0};
+  }
+  if (flags & kEchoPresent) {
+    echo = TimingStamp{r.varint(), (flags & kEchoRexmit) != 0};
+  }
+}
+
+}  // namespace
+
+util::Bytes ChannelDataFrame::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  const bool timed = timing.has_value() || echo.has_value();
+  // Without the timing extension the encoding is byte-for-byte the
+  // pre-extension format (kind, seq, cum_ack, payload).
+  w.u8(static_cast<std::uint8_t>(ChannelPacketKind::kData) |
+       (timed ? kChannelTimingFlag : 0));
+  w.varint(seq);
+  w.varint(cum_ack);
+  if (timed) write_timing(w, timing, echo);
+  w.bytes(payload.span());
+  return std::move(w).take();
+}
+
+std::optional<ChannelDataFrame> ChannelDataFrame::decode(
+    util::BytesView data) {
+  util::Reader r(data);
+  const std::uint8_t kind = r.u8();
+  if ((kind & ~kChannelTimingFlag) !=
+      static_cast<std::uint8_t>(ChannelPacketKind::kData))
+    return std::nullopt;
+  ChannelDataFrame f;
+  f.seq = r.varint();
+  f.cum_ack = r.varint();
+  if (kind & kChannelTimingFlag) read_timing(r, f.timing, f.echo);
+  f.payload = r.bytes_view();
+  if (!r.ok()) return std::nullopt;
+  return f;
+}
+
+util::Bytes ChannelAckFrame::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.u8(static_cast<std::uint8_t>(ChannelPacketKind::kAck) |
+       (echo ? kChannelTimingFlag : 0));
+  w.varint(cum_ack);
+  if (echo) {
+    std::optional<TimingStamp> no_stamp;
+    write_timing(w, no_stamp, echo);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ChannelAckFrame> ChannelAckFrame::decode(util::BytesView data) {
+  util::Reader r(data);
+  const std::uint8_t kind = r.u8();
+  if ((kind & ~kChannelTimingFlag) !=
+      static_cast<std::uint8_t>(ChannelPacketKind::kAck))
+    return std::nullopt;
+  ChannelAckFrame f;
+  if (kind & kChannelTimingFlag) {
+    std::optional<TimingStamp> stamp;
+    f.cum_ack = r.varint();
+    read_timing(r, stamp, f.echo);
+  } else {
+    f.cum_ack = r.varint();
+  }
+  if (!r.ok()) return std::nullopt;
+  return f;
+}
+
 std::optional<MsgType> peek_type(std::span<const std::uint8_t> data) {
   if (data.empty()) return std::nullopt;
   const auto t = static_cast<MsgType>(data[0]);

@@ -201,6 +201,62 @@ struct BatchFrame {
   }
 };
 
+// ---------------------------------------------------------------------
+// Transport-plane channel packet framing (the kData/kAck packets of the
+// reliable FIFO channel, one layer *below* the protocol messages above;
+// a kData payload is an OrderedMsg/BatchFrame/... encoding).
+//
+// Both frames carry an optional timing extension, signalled by a flag
+// bit in the kind byte: the sender stamps each data packet with its
+// transmit time (and whether this transmission is a retransmission),
+// and the receiver echoes the stamp of received data back in its
+// cumulative acks, giving the sender per-peer RTT samples for the
+// adaptive RTO/ack-delay machinery in transport/fifo_channel.h.
+// Decoding is version-tolerant in both directions: an untimed frame
+// (the pre-extension format, still emitted when adaptive_rto is off) and
+// a timed one are both accepted, and unknown extension-flag bits are
+// ignored, so mixed-version peers interoperate (a peer that never
+// echoes simply yields no samples).
+// ---------------------------------------------------------------------
+
+enum class ChannelPacketKind : std::uint8_t { kData = 0, kAck = 1 };
+
+// Kind-byte flag: the frame carries the timing extension.
+inline constexpr std::uint8_t kChannelTimingFlag = 0x80;
+
+// A transmit-time stamp: `ts` is an opaque tick value in the *sender's*
+// clock domain (virtual microseconds in the sim, steady_clock
+// microseconds in the threaded/UDP hosts) — it is only ever echoed back
+// verbatim and compared against that same clock, so peers need no time
+// agreement. `rexmit` marks a retransmission, letting the original
+// sender apply Karn's rule to the echoed sample.
+struct TimingStamp {
+  std::uint64_t ts = 0;
+  bool rexmit = false;
+};
+
+// A kData channel packet.
+struct ChannelDataFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t cum_ack = 0;              // piggybacked reverse-path ack
+  std::optional<TimingStamp> timing;      // tx stamp of this packet
+  std::optional<TimingStamp> echo;        // echo of the peer's data stamp
+  util::BytesView payload;
+
+  // `reuse` provides recycled storage for the encoding (buffer pooling).
+  util::Bytes encode(util::Bytes reuse = {}) const;
+  static std::optional<ChannelDataFrame> decode(util::BytesView data);
+};
+
+// A standalone kAck channel packet.
+struct ChannelAckFrame {
+  std::uint64_t cum_ack = 0;
+  std::optional<TimingStamp> echo;
+
+  util::Bytes encode(util::Bytes reuse = {}) const;
+  static std::optional<ChannelAckFrame> decode(util::BytesView data);
+};
+
 // Peeks at the type byte without a full decode.
 std::optional<MsgType> peek_type(std::span<const std::uint8_t> data);
 

@@ -30,19 +30,27 @@ using NodeId = std::uint32_t;
 
 // Latency model for a link. Sampled per datagram.
 struct LatencyModel {
-  enum class Kind { kConstant, kUniform, kExponential };
+  enum class Kind { kConstant, kUniform, kExponential, kBimodal };
   Kind kind = Kind::kConstant;
   Duration base = 1 * kMillisecond;   // constant part / lower bound / mean
-  Duration spread = 0;                // uniform: width; exponential: unused
+  Duration spread = 0;                // uniform: width; bimodal: slow mode
+  double mix = 0.0;                   // bimodal: probability of the slow mode
 
   static LatencyModel constant(Duration d) {
-    return LatencyModel{Kind::kConstant, d, 0};
+    return LatencyModel{Kind::kConstant, d, 0, 0.0};
   }
   static LatencyModel uniform(Duration lo, Duration hi) {
-    return LatencyModel{Kind::kUniform, lo, hi - lo};
+    return LatencyModel{Kind::kUniform, lo, hi - lo, 0.0};
   }
   static LatencyModel exponential(Duration mean) {
-    return LatencyModel{Kind::kExponential, mean, 0};
+    return LatencyModel{Kind::kExponential, mean, 0, 0.0};
+  }
+  // Jittery path: `lo` with probability 1 - p_slow, `hi` with p_slow —
+  // occasional cross-traffic queueing or a WAN detour among LAN peers.
+  // The adaptive-RTO scenarios use this: a flat timeout tuned to either
+  // mode misbehaves on the other.
+  static LatencyModel bimodal(Duration lo, Duration hi, double p_slow) {
+    return LatencyModel{Kind::kBimodal, lo, hi, p_slow};
   }
 
   Duration sample(util::Rng& rng) const {
@@ -58,6 +66,8 @@ struct LatencyModel {
         return base > 0 ? static_cast<Duration>(rng.next_exponential(
                               static_cast<double>(base)))
                         : 0;
+      case Kind::kBimodal:
+        return rng.next_bool(mix) ? spread : base;
     }
     return base;
   }

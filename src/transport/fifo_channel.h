@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 
+#include "core/wire.h"  // channel packet framing + TimingStamp
 #include "sim/time.h"
 #include "util/buffer_pool.h"
 #include "util/check.h"
@@ -38,12 +40,30 @@ struct ChannelConfig {
   // a full-window burst every rto. 1.0 restores the flat-RTO behaviour.
   double rto_backoff = 2.0;
   Duration rto_max = 8 * 20 * sim::kMillisecond;
+  // Adaptive transport timing (see docs/TRANSPORT.md). When on, every
+  // data packet is stamped with its transmit time, acks echo the stamp,
+  // and a per-peer Jacobson/Karn estimator turns the echoes into
+  // SRTT/RTTVAR; new packets start from rto = srtt + 4*rttvar (clamped
+  // to [rto_min, rto_max]) instead of the flat `rto` above, and the
+  // delayed-ack window follows srtt/4. When off (the default), the wire
+  // format and retransmission schedule are byte-for-byte the static
+  // behaviour. Mixed deployments interoperate: timed and untimed frames
+  // decode either way; a peer that never echoes just yields no samples,
+  // leaving the static rto in charge.
+  bool adaptive_rto = false;
+  Duration rto_min = 5 * sim::kMillisecond;
   // Delayed cumulative acks: an ack owed to a peer may wait this long
   // for an outgoing data packet to piggyback it, or for more data to
   // arrive and share one cumulative ack (a burst of n datagrams then
   // costs one kAck, not n). Must stay well below rto or the sender
   // retransmits spuriously. 0 acks at the next flush/tick boundary.
+  // Under adaptive_rto this is only the fallback until the estimator
+  // has a sample; from then on the window is clamp(srtt/4,
+  // ack_delay_min, ack_delay_max) — fast paths ack sooner, slow paths
+  // stop provoking spurious retransmissions.
   Duration ack_delay = 3 * sim::kMillisecond;
+  Duration ack_delay_min = 500 * sim::kMicrosecond;
+  Duration ack_delay_max = 20 * sim::kMillisecond;
   std::size_t max_reorder = 4096;    // receiver out-of-order buffer cap
   // Router batching: payloads buffered per peer between flushes are
   // coalesced into one BatchFrame datagram, at most this many per frame.
@@ -64,58 +84,159 @@ struct ChannelStats {
   std::uint64_t delivered = 0;
   std::uint64_t batches_sent = 0;          // BatchFrames flushed
   std::uint64_t batched_payloads = 0;      // payloads carried inside them
+  // Adaptive-timing telemetry (all zero while adaptive_rto is off).
+  std::uint64_t rtt_samples = 0;           // Karn-valid echoes consumed
+  std::uint64_t karn_skipped = 0;          // echoes discarded (rexmit)
+  // An ack released a packet sooner after its latest retransmission than
+  // the minimum RTT ever observed — the ack must answer an *earlier*
+  // transmission, so that retransmission was wasted bytes.
+  std::uint64_t spurious_rexmit = 0;
+  // Estimator gauges (microseconds; latest values, not counters).
+  std::int64_t srtt_us = 0;
+  std::int64_t rttvar_us = 0;
+  std::int64_t rto_current_us = 0;
 };
 
-// Wire framing for channel packets. kData carries a piggybacked cumulative
-// ack for the reverse direction.
-enum class PacketKind : std::uint8_t { kData = 0, kAck = 1 };
+// Wire framing for channel packets (encode/decode live in core/wire.h as
+// ChannelDataFrame/ChannelAckFrame). kData carries a piggybacked
+// cumulative ack for the reverse direction.
+using PacketKind = newtop::ChannelPacketKind;
+
+// Jacobson/Karn round-trip estimator (RFC 6298 constants: alpha = 1/8,
+// beta = 1/4). Samples come from timestamp echoes, so they include the
+// peer's delayed-ack wait — which is exactly right: the RTO must cover
+// the whole data->ack round trip, delayed acks included, or every
+// deferred ack provokes a retransmission.
+class RttEstimator {
+ public:
+  // Bounds are normalised so a config with rto_max below rto_min cannot
+  // hand std::clamp an inverted range (UB): the floor wins.
+  RttEstimator(Duration rto_initial, Duration rto_min, Duration rto_max)
+      : rto_initial_(rto_initial),
+        rto_min_(std::max<Duration>(rto_min, 1)),
+        rto_max_(std::max(rto_max, rto_min_)) {}
+
+  void sample(Duration rtt) {
+    rtt = std::max<Duration>(rtt, 1);
+    if (!valid_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      min_rtt_ = rtt;
+      valid_ = true;
+      return;
+    }
+    const Duration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ += (err - rttvar_) / 4;
+    srtt_ += (rtt - srtt_) / 8;
+    min_rtt_ = std::min(min_rtt_, rtt);
+  }
+
+  bool valid() const { return valid_; }
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  Duration min_rtt() const { return min_rtt_; }
+
+  // The current retransmission timeout: static until the first sample,
+  // then srtt + 4*rttvar clamped to [rto_min, rto_max].
+  Duration rto() const {
+    if (!valid_) return rto_initial_;
+    return std::clamp(srtt_ + 4 * rttvar_, rto_min_, rto_max_);
+  }
+
+ private:
+  Duration rto_initial_;
+  Duration rto_min_;
+  Duration rto_max_;
+  Duration srtt_ = 0;
+  Duration rttvar_ = 0;
+  Duration min_rtt_ = 0;
+  bool valid_ = false;
+};
+
+// The cumulative-ack content a sender piggybacks on outgoing packets:
+// the ack number plus (adaptive timing only) the receiver half's latched
+// timestamp echo. Implicitly constructible from a bare ack number so
+// timing-oblivious callers and tests can keep passing integers.
+struct AckInfo {
+  std::uint64_t cum = 0;
+  std::optional<TimingStamp> echo;
+
+  AckInfo(std::uint64_t c = 0) : cum(c) {}
+  AckInfo(std::uint64_t c, std::optional<TimingStamp> e)
+      : cum(c), echo(std::move(e)) {}
+};
 
 // Sender half: assigns sequence numbers, enforces the window, retransmits.
+// Under adaptive timing it also owns the per-peer RTT estimator: acks
+// carrying a timestamp echo feed it (Karn's rule discards echoes of
+// retransmitted packets) and every new transmission starts from the
+// estimated RTO instead of the static one.
 class ChannelSender {
  public:
-  explicit ChannelSender(ChannelConfig config) : config_(config) {}
+  explicit ChannelSender(ChannelConfig config)
+      : config_(config),
+        rtt_(config.rto, config.rto_min, std::max(config.rto_max, config.rto)) {}
 
   // Queues payload; returns packets to transmit now (possibly none if the
   // window is full — they will go out as acks open the window). The
   // payload buffer is shared, not copied: a multicast's encoding is held
   // once across every peer's retransmission queue.
   void send(util::SharedBytes payload, Time now,
-            std::vector<util::Bytes>& out_packets,
-            std::uint64_t piggyback_ack) {
+            std::vector<util::Bytes>& out_packets, AckInfo piggyback_ack) {
     queue_.push_back(
-        Pending{next_seq_++, std::move(payload), kNotSent, config_.rto});
+        Pending{next_seq_++, std::move(payload), kNotSent, config_.rto, 0});
     pump(now, out_packets, piggyback_ack);
   }
   void send(util::Bytes payload, Time now,
-            std::vector<util::Bytes>& out_packets,
-            std::uint64_t piggyback_ack) {
-    send(util::share(std::move(payload)), now, out_packets, piggyback_ack);
+            std::vector<util::Bytes>& out_packets, AckInfo piggyback_ack) {
+    send(util::share(std::move(payload)), now, out_packets,
+         std::move(piggyback_ack));
   }
 
   // Processes a cumulative ack: everything with seq <= cum_ack is done.
-  void on_ack(std::uint64_t cum_ack, Time now,
-              std::vector<util::Bytes>& out_packets,
-              std::uint64_t piggyback_ack) {
+  // `echo` is the peer's timestamp echo (adaptive timing); a fresh
+  // (non-retransmitted) echo becomes an RTT sample and re-seeds the
+  // timeout of any backed-off in-flight packet from the new estimate, so
+  // a path that recovers from loss sheds its inflated timeouts at the
+  // first live round trip instead of waiting the packets out.
+  void on_ack(std::uint64_t cum_ack, std::optional<TimingStamp> echo,
+              Time now, std::vector<util::Bytes>& out_packets,
+              AckInfo piggyback_ack, ChannelStats& stats) {
+    if (echo && config_.adaptive_rto) take_sample(*echo, now, stats);
     while (!queue_.empty() && queue_.front().seq <= cum_ack &&
            queue_.front().sent_at != kNotSent) {
+      const Pending& p = queue_.front();
+      // The ack released a retransmitted packet faster than any round
+      // trip ever observed: it must answer an earlier transmission, so
+      // the retransmission was spurious (Eifel-style detection).
+      if (p.rexmits > 0 && rtt_.valid() && now - p.sent_at < rtt_.min_rtt())
+        ++stats.spurious_rexmit;
       queue_.pop_front();
       NEWTOP_DCHECK(in_flight_ > 0);
       --in_flight_;
     }
     pump(now, out_packets, piggyback_ack);
   }
+  // Timing-oblivious form (static configs, tests).
+  void on_ack(std::uint64_t cum_ack, Time now,
+              std::vector<util::Bytes>& out_packets, AckInfo piggyback_ack) {
+    ChannelStats scratch;
+    on_ack(cum_ack, std::nullopt, now, out_packets, std::move(piggyback_ack),
+           scratch);
+  }
 
   // Retransmits packets whose RTO expired. Each retransmission backs the
   // packet's own timeout off (capped), so sustained loss provokes
   // geometrically less repair traffic, not a window-sized burst per rto.
   void tick(Time now, std::vector<util::Bytes>& out_packets,
-            std::uint64_t piggyback_ack, ChannelStats& stats) {
+            AckInfo piggyback_ack, ChannelStats& stats) {
     std::size_t considered = 0;
     for (auto& p : queue_) {
       if (considered++ >= in_flight_) break;  // only in-flight entries
       if (p.sent_at != kNotSent && now - p.sent_at >= p.rto) {
         p.sent_at = now;
         p.rto = backed_off(p.rto);
+        ++p.rexmits;
         ++stats.retransmissions;
         out_packets.push_back(encode(p, piggyback_ack));
       }
@@ -136,12 +257,13 @@ class ChannelSender {
   }
 
   void pump(Time now, std::vector<util::Bytes>& out_packets,
-            std::uint64_t piggyback_ack) {
+            const AckInfo& piggyback_ack) {
     // Transmit queued-but-unsent packets while the window has room.
     for (auto& p : queue_) {
       if (in_flight_ >= config_.window) break;
       if (p.sent_at != kNotSent) continue;
       p.sent_at = now;
+      p.rto = current_rto();  // first transmission seeds from the estimate
       ++in_flight_;
       ++sent_count_;
       out_packets.push_back(encode(p, piggyback_ack));
@@ -149,6 +271,11 @@ class ChannelSender {
   }
 
   std::uint64_t sent_count() const { return sent_count_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  // The RTO a packet transmitted now would start from.
+  Duration current_rto() const {
+    return config_.adaptive_rto ? rtt_.rto() : config_.rto;
+  }
 
  private:
   static constexpr Time kNotSent = -1;
@@ -156,8 +283,9 @@ class ChannelSender {
   struct Pending {
     std::uint64_t seq;
     util::SharedBytes payload;
-    Time sent_at;  // kNotSent until first transmission
-    Duration rto;  // current per-packet timeout (grows under backoff)
+    Time sent_at;            // kNotSent until first transmission
+    Duration rto;            // current per-packet timeout (grows under backoff)
+    std::uint32_t rexmits;   // retransmission count (Karn marking)
   };
 
   Duration backed_off(Duration rto) const {
@@ -167,17 +295,50 @@ class ChannelSender {
     return std::min(next, std::max(config_.rto_max, config_.rto));
   }
 
-  util::Bytes encode(const Pending& p, std::uint64_t piggyback_ack) const {
-    const std::size_t need = p.payload->size() + 16;
-    util::Writer w(util::BufferPool::acquire_from(config_.pool, need));
-    w.u8(static_cast<std::uint8_t>(PacketKind::kData));
-    w.varint(p.seq);
-    w.varint(piggyback_ack);
-    w.bytes(*p.payload);
-    return std::move(w).take();
+  void take_sample(const TimingStamp& echo, Time now, ChannelStats& stats) {
+    // Karn's rule: an echo of a retransmitted packet is ambiguous (the
+    // original may have raced it); never let it into the estimator.
+    if (echo.rexmit) {
+      ++stats.karn_skipped;
+      return;
+    }
+    const Duration rtt = now - static_cast<Time>(echo.ts);
+    if (rtt < 0) return;  // clock confusion (hostile or misrouted echo)
+    rtt_.sample(rtt);
+    ++stats.rtt_samples;
+    stats.srtt_us = rtt_.srtt();
+    stats.rttvar_us = rtt_.rttvar();
+    stats.rto_current_us = rtt_.rto();
+    // Fresh evidence the path is live: any packet still carrying a
+    // backed-off timeout re-seeds from the estimate, so recovery is not
+    // gated on the inflated timer expiring one more time.
+    const Duration seeded = rtt_.rto();
+    std::size_t considered = 0;
+    for (auto& p : queue_) {
+      if (considered++ >= in_flight_) break;
+      if (p.rexmits > 0 && p.rto > seeded) p.rto = seeded;
+    }
+  }
+
+  util::Bytes encode(const Pending& p, const AckInfo& ack) const {
+    // Header bound: kind + 2 varints (16, the pre-extension bound), plus
+    // the timing extension's flags byte + 2 stamp varints when on.
+    const std::size_t need =
+        p.payload->size() + (config_.adaptive_rto ? 48 : 16);
+    ChannelDataFrame f;
+    f.seq = p.seq;
+    f.cum_ack = ack.cum;
+    if (config_.adaptive_rto) {
+      f.timing =
+          TimingStamp{static_cast<std::uint64_t>(p.sent_at), p.rexmits > 0};
+      f.echo = ack.echo;
+    }
+    f.payload = util::BytesView(p.payload);
+    return f.encode(util::BufferPool::acquire_from(config_.pool, need));
   }
 
   ChannelConfig config_;
+  RttEstimator rtt_;
   std::deque<Pending> queue_;  // in-flight prefix, then unsent suffix
   std::size_t in_flight_ = 0;
   std::uint64_t next_seq_ = 1;
@@ -193,7 +354,19 @@ class ChannelReceiver {
   explicit ChannelReceiver(ChannelConfig config) : config_(config) {}
 
   // Handles a data packet; appends in-order payloads to `delivered`.
-  // Returns the cumulative ack to send back.
+  // Returns the cumulative ack to send back. `stamp` is the sender's
+  // transmit-time stamp (adaptive timing): the first stamp since the
+  // last ack went out is latched for echoing, so the sender's RTT sample
+  // spans the whole burst-plus-delayed-ack round trip (the TCP
+  // timestamps RTTM rule for delayed acks).
+  std::uint64_t on_data(std::uint64_t seq, util::BytesView payload,
+                        std::optional<TimingStamp> stamp,
+                        std::vector<util::BytesView>& delivered,
+                        ChannelStats& stats) {
+    if (stamp && !echo_) echo_ = *stamp;
+    return on_data(seq, std::move(payload), delivered, stats);
+  }
+
   std::uint64_t on_data(std::uint64_t seq, util::BytesView payload,
                         std::vector<util::BytesView>& delivered,
                         ChannelStats& stats) {
@@ -237,10 +410,17 @@ class ChannelReceiver {
 
   std::uint64_t cum_ack() const { return next_expected_ - 1; }
 
+  // The latched timestamp echo owed to the peer (if any). Peek when
+  // building an ack; consume once that ack has actually been transmitted
+  // (piggybacked on data or flushed standalone).
+  const std::optional<TimingStamp>& pending_echo() const { return echo_; }
+  void consume_echo() { echo_.reset(); }
+
  private:
   ChannelConfig config_;
   std::map<std::uint64_t, util::BytesView> buffer_;
   std::uint64_t next_expected_ = 1;
+  std::optional<TimingStamp> echo_;
 };
 
 }  // namespace newtop::transport

@@ -8,9 +8,11 @@
 // under virtual and real time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/wire.h"  // BatchFrame: the batched-transmit container
@@ -94,41 +96,42 @@ class Router {
   // (hosts `share` the receive buffer once); the channel payload handed
   // upward is a sub-slice of it, not a copy.
   void on_datagram(PeerId from, util::BytesView datagram, Time now) {
-    util::Reader r(datagram);
-    const auto kind = static_cast<PacketKind>(r.u8());
+    const auto kind = datagram.empty()
+                          ? static_cast<PacketKind>(0xff)
+                          : static_cast<PacketKind>(datagram[0] &
+                                                    ~kChannelTimingFlag);
     auto& peer = peers(from);
     if (kind == PacketKind::kData) {
-      const std::uint64_t seq = r.varint();
-      const std::uint64_t piggyback = r.varint();
-      util::BytesView payload = r.bytes_view();
-      if (!r.ok()) {
+      auto frame = ChannelDataFrame::decode(datagram);
+      if (!frame) {
         NEWTOP_LOG_WARN("router %u: malformed data packet from %u", self_,
                         from);
         return;
       }
-      handle_ack(peer, from, piggyback, now);
+      handle_ack(peer, from, frame->cum_ack, frame->echo, now);
       // Scratch steal/return: the common case reuses one vector's
       // capacity across datagrams; a re-entrant call just sees a fresh
       // empty vector.
       std::vector<util::BytesView> ready = std::move(rx_scratch_);
       ready.clear();
-      peer.receiver.on_data(seq, std::move(payload), ready, peer.stats);
+      peer.receiver.on_data(frame->seq, std::move(frame->payload),
+                            frame->timing, ready, peer.stats);
       // Ack deferral: rather than answering every data packet with a
       // standalone kAck datagram, mark the ack owed. An outgoing data
-      // packet within ack_delay piggybacks it for free; otherwise a
-      // flush/tick past the deadline emits one standalone ack covering
+      // packet within the delay window piggybacks it for free; otherwise
+      // a flush/tick past the deadline emits one standalone ack covering
       // (cumulatively) everything that arrived in the window.
       if (!peer.ack_pending) {
         peer.ack_pending = true;
-        peer.ack_due = now + config_.ack_delay;
+        peer.ack_due = now + ack_delay(peer);
       }
       for (auto& p : ready) deliver_(from, std::move(p));
       ready.clear();  // drop the moved-from views' references
       rx_scratch_ = std::move(ready);
     } else if (kind == PacketKind::kAck) {
-      const std::uint64_t cum = r.varint();
-      if (!r.ok()) return;
-      handle_ack(peer, from, cum, now);
+      auto frame = ChannelAckFrame::decode(datagram);
+      if (!frame) return;
+      handle_ack(peer, from, frame->cum_ack, frame->echo, now);
     } else {
       NEWTOP_LOG_WARN("router %u: unknown packet kind from %u", self_, from);
     }
@@ -140,7 +143,7 @@ class Router {
     for (auto& [peer_id, peer] : peers_) {
       std::vector<util::Bytes> packets = std::move(tx_scratch_);
       packets.clear();
-      peer.sender.tick(now, packets, peer.receiver.cum_ack(), peer.stats);
+      peer.sender.tick(now, packets, ack_info(peer), peer.stats);
       note_data_sent(peer, packets);
       transmit(peer_id, packets);
       tx_scratch_ = std::move(packets);
@@ -174,8 +177,30 @@ class Router {
       total.delivered += peer.stats.delivered;
       total.batches_sent += peer.stats.batches_sent;
       total.batched_payloads += peer.stats.batched_payloads;
+      total.rtt_samples += peer.stats.rtt_samples;
+      total.karn_skipped += peer.stats.karn_skipped;
+      total.spurious_rexmit += peer.stats.spurious_rexmit;
+      // Gauges do not sum across peers; the aggregate reports the
+      // worst (slowest) path.
+      total.srtt_us = std::max(total.srtt_us, peer.stats.srtt_us);
+      total.rttvar_us = std::max(total.rttvar_us, peer.stats.rttvar_us);
+      total.rto_current_us =
+          std::max(total.rto_current_us, peer.stats.rto_current_us);
     }
     return total;
+  }
+
+  // Per-peer channel stats (nullptr when no channel state exists yet).
+  const ChannelStats* peer_stats(PeerId id) const {
+    const auto it = peers_.find(id);
+    return it == peers_.end() ? nullptr : &it->second.stats;
+  }
+
+  // The RTT estimator of the channel towards `id` (nullptr as above);
+  // tests and telemetry read srtt/rttvar/rto through it.
+  const RttEstimator* peer_rtt(PeerId id) const {
+    const auto it = peers_.find(id);
+    return it == peers_.end() ? nullptr : &it->second.sender.rtt();
   }
 
  private:
@@ -194,12 +219,30 @@ class Router {
     Time ack_due = 0;
   };
 
+  // The ack content outgoing data to this peer piggybacks: the current
+  // cumulative ack plus (adaptive timing) the latched timestamp echo.
+  AckInfo ack_info(const Peer& peer) const {
+    if (!config_.adaptive_rto) return AckInfo(peer.receiver.cum_ack());
+    return AckInfo(peer.receiver.cum_ack(), peer.receiver.pending_echo());
+  }
+
+  // The delayed-ack window towards this peer: static until the channel
+  // has an RTT estimate, then srtt/4 (clamped) so fast paths ack sooner
+  // and slow paths stop provoking spurious retransmissions.
+  Duration ack_delay(const Peer& peer) const {
+    if (!config_.adaptive_rto || !peer.sender.rtt().valid())
+      return config_.ack_delay;
+    // Guard the pair so a misconfigured max below min cannot hand
+    // std::clamp an inverted range (the floor wins).
+    return std::clamp(peer.sender.rtt().srtt() / 4, config_.ack_delay_min,
+                      std::max(config_.ack_delay_max, config_.ack_delay_min));
+  }
+
   void channel_send(PeerId to, Peer& peer, util::SharedBytes payload,
                     Time now) {
     std::vector<util::Bytes> packets = std::move(tx_scratch_);
     packets.clear();
-    peer.sender.send(std::move(payload), now, packets,
-                     peer.receiver.cum_ack());
+    peer.sender.send(std::move(payload), now, packets, ack_info(peer));
     peer.stats.packets_sent += packets.size();
     note_data_sent(peer, packets);
     transmit(to, packets);
@@ -231,9 +274,12 @@ class Router {
   }
 
   // Every data packet carries the current cumulative ack as a piggyback,
-  // so transmitting any data to a peer discharges a deferred ack.
+  // so transmitting any data to a peer discharges a deferred ack (and
+  // the timestamp echo it carried).
   void note_data_sent(Peer& peer, const std::vector<util::Bytes>& packets) {
-    if (!packets.empty() && peer.ack_pending) {
+    if (packets.empty()) return;
+    peer.receiver.consume_echo();
+    if (peer.ack_pending) {
       peer.ack_pending = false;
       ++peer.stats.acks_suppressed;
     }
@@ -242,7 +288,7 @@ class Router {
   void flush_ack(PeerId to, Peer& peer, Time now) {
     if (!peer.ack_pending || now < peer.ack_due) return;
     peer.ack_pending = false;
-    send_ack(to, peer.receiver.cum_ack(), peer);
+    send_ack(to, peer);
   }
 
   Peer& peers(PeerId id) {
@@ -253,22 +299,26 @@ class Router {
     return it->second;
   }
 
-  void handle_ack(Peer& peer, PeerId from, std::uint64_t cum, Time now) {
+  void handle_ack(Peer& peer, PeerId from, std::uint64_t cum,
+                  const std::optional<TimingStamp>& echo, Time now) {
     std::vector<util::Bytes> packets = std::move(tx_scratch_);
     packets.clear();
-    peer.sender.on_ack(cum, now, packets, peer.receiver.cum_ack());
+    peer.sender.on_ack(cum, echo, now, packets, ack_info(peer), peer.stats);
     peer.stats.packets_sent += packets.size();
     note_data_sent(peer, packets);
     transmit(from, packets);
     tx_scratch_ = std::move(packets);
   }
 
-  void send_ack(PeerId to, std::uint64_t cum_ack, Peer& peer) {
-    util::Writer w(util::BufferPool::acquire_from(config_.pool, 12));
-    w.u8(static_cast<std::uint8_t>(PacketKind::kAck));
-    w.varint(cum_ack);
+  void send_ack(PeerId to, Peer& peer) {
+    ChannelAckFrame f;
+    f.cum_ack = peer.receiver.cum_ack();
+    if (config_.adaptive_rto) {
+      f.echo = peer.receiver.pending_echo();
+      peer.receiver.consume_echo();
+    }
     ++peer.stats.acks_sent;
-    send_(to, std::move(w).take());
+    send_(to, f.encode(util::BufferPool::acquire_from(config_.pool, 24)));
   }
 
   void transmit(PeerId to, std::vector<util::Bytes>& packets) {

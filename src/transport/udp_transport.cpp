@@ -248,6 +248,11 @@ SendCounts UdpNode::send_counts() const {
   return send_counts_;
 }
 
+ChannelStats UdpNode::transport_stats() {
+  return marshal<ChannelStats>(
+      {}, [this](Endpoint&, sim::Time) { return router_->total_stats(); });
+}
+
 std::vector<Delivery> UdpNode::deliveries() const {
   std::scoped_lock lock(log_mutex_);
   return deliveries_;

@@ -117,6 +117,13 @@ class UdpNode : public MailboxGroupHost {
   std::size_t delivery_count(GroupId g) const;
   SendCounts send_counts() const;
 
+  // Aggregated reliable-transport counters, including the adaptive-RTO
+  // gauges (srtt/rttvar/rto_current, worst path across peers).
+  // Marshalled onto the loop thread like the GroupHandle calls — do not
+  // call from the loop thread itself; returns a default snapshot if the
+  // node stopped first.
+  ChannelStats transport_stats();
+
  private:
   void run();
   sim::Time now_us() const;

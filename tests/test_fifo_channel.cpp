@@ -209,6 +209,168 @@ TEST(ChannelReceiver, ReorderBufferCapDropsOverflow) {
   EXPECT_EQ(stats.reorder_dropped, 1u);
 }
 
+// --- Adaptive transport timing (RTT estimator + timed frames) ---------
+
+ChannelConfig adaptive_cfg() {
+  ChannelConfig cfg;
+  cfg.adaptive_rto = true;
+  cfg.rto = 20000;      // 20ms static seed
+  cfg.rto_min = 5000;   // 5ms
+  cfg.rto_max = 160000;
+  cfg.rto_backoff = 2.0;
+  return cfg;
+}
+
+TEST(RttEstimator, ConvergesToConstantRtt) {
+  RttEstimator e(20000, 1000, 160000);
+  EXPECT_FALSE(e.valid());
+  EXPECT_EQ(e.rto(), 20000);  // static until the first sample
+  e.sample(10000);
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.srtt(), 10000);
+  EXPECT_EQ(e.rttvar(), 5000);
+  for (int i = 0; i < 60; ++i) e.sample(2000);
+  // EWMA pulls srtt to the steady value and rttvar decays with it.
+  EXPECT_NEAR(static_cast<double>(e.srtt()), 2000.0, 250.0);
+  EXPECT_LT(e.rttvar(), 1000);
+  EXPECT_EQ(e.min_rtt(), 2000);
+  EXPECT_LT(e.rto(), 10000);
+}
+
+TEST(RttEstimator, TracksDispersionInRttvar) {
+  RttEstimator e(20000, 1000, 1000000);
+  for (int i = 0; i < 100; ++i) e.sample(i % 2 == 0 ? 2000 : 40000);
+  // A bimodal path must leave a wide variance so the RTO covers the
+  // slow mode; srtt alone sits between the modes.
+  EXPECT_GT(e.srtt(), 2000);
+  EXPECT_LT(e.srtt(), 40000);
+  EXPECT_GT(e.rttvar(), 8000);
+  EXPECT_GT(e.rto(), 40000);  // srtt + 4*rttvar clears the slow mode
+}
+
+TEST(RttEstimator, RtoClampsToConfiguredBounds) {
+  RttEstimator lo(20000, 5000, 160000);
+  lo.sample(100);  // srtt 100, rttvar 50 -> raw rto 300
+  EXPECT_EQ(lo.rto(), 5000);
+  RttEstimator hi(20000, 5000, 160000);
+  hi.sample(100000);  // raw rto 300000
+  EXPECT_EQ(hi.rto(), 160000);
+}
+
+TEST(ChannelSender, AdaptiveModeStampsDataPackets) {
+  ChannelSender s{adaptive_cfg()};
+  std::vector<util::Bytes> out;
+  s.send(bytes_of("x"), 1234, out, 7);
+  ASSERT_EQ(out.size(), 1u);
+  const auto f = ChannelDataFrame::decode(util::BytesView(out[0]));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->cum_ack, 7u);
+  ASSERT_TRUE(f->timing.has_value());
+  EXPECT_EQ(f->timing->ts, 1234u);
+  EXPECT_FALSE(f->timing->rexmit);
+  // Legacy decoder shape is preserved for static configs (see
+  // UntimedDataFrame test in test_wire.cpp); here the timed frame is
+  // re-decodable by the same path.
+  EXPECT_EQ(f->seq, 1u);
+}
+
+TEST(ChannelSender, EchoFeedsEstimatorAndStats) {
+  ChannelSender s{adaptive_cfg()};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 1000, out, 0);
+  out.clear();
+  s.on_ack(1, TimingStamp{1000, false}, 11000, out, 0, stats);
+  EXPECT_EQ(stats.rtt_samples, 1u);
+  EXPECT_EQ(stats.srtt_us, 10000);
+  EXPECT_EQ(stats.rttvar_us, 5000);
+  EXPECT_EQ(stats.rto_current_us, 30000);  // srtt + 4*rttvar
+  EXPECT_TRUE(s.rtt().valid());
+  EXPECT_EQ(s.current_rto(), 30000);
+}
+
+TEST(ChannelSender, KarnRuleExcludesRetransmittedEchoes) {
+  ChannelSender s{adaptive_cfg()};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 1000, out, 0);
+  out.clear();
+  // The peer echoes the stamp of a *retransmitted* copy: ambiguous,
+  // never sampled.
+  s.on_ack(1, TimingStamp{1000, true}, 50000, out, 0, stats);
+  EXPECT_EQ(stats.rtt_samples, 0u);
+  EXPECT_EQ(stats.karn_skipped, 1u);
+  EXPECT_FALSE(s.rtt().valid());
+  EXPECT_EQ(s.current_rto(), 20000);  // still the static seed
+}
+
+TEST(ChannelSender, FreshSampleReseedsBackedOffTimeouts) {
+  ChannelSender s{adaptive_cfg()};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("a"), 0, out, 0);
+  s.send(bytes_of("b"), 0, out, 0);
+  ASSERT_EQ(out.size(), 2u);
+  out.clear();
+  // Two lost rounds: per-packet rto inflates 20ms -> 40ms -> 80ms.
+  s.tick(20000, out, 0, stats);
+  ASSERT_EQ(out.size(), 2u);
+  out.clear();
+  s.tick(60000, out, 0, stats);
+  ASSERT_EQ(out.size(), 2u);
+  out.clear();
+  // The path recovers: a fresh (non-retransmitted) echo arrives — e.g.
+  // the receiver buffered new out-of-order data — and re-seeds both
+  // in-flight timeouts from the new 2ms estimate instead of letting the
+  // 80ms backoff play out (the recovery bugfix this PR locks in).
+  s.on_ack(0, TimingStamp{60000, false}, 62000, out, 0, stats);
+  EXPECT_EQ(stats.rtt_samples, 1u);
+  out.clear();
+  // srtt 2ms, rttvar 1ms -> rto 6ms; both were (re)sent at 60ms, so
+  // they are due at 66ms, not at the backed-off 140ms.
+  s.tick(66000, out, 0, stats);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ChannelSender, CountsSpuriousRetransmissions) {
+  ChannelSender s{adaptive_cfg()};
+  std::vector<util::Bytes> out;
+  ChannelStats stats;
+  s.send(bytes_of("x"), 0, out, 0);
+  out.clear();
+  // Seed min_rtt with a 10ms sample (no window movement: cum_ack 0).
+  s.on_ack(0, TimingStamp{0, false}, 10000, out, 0, stats);
+  ASSERT_TRUE(s.rtt().valid());
+  // The packet times out (rto re-seeded to 30ms) and is retransmitted...
+  s.tick(40000, out, 0, stats);
+  ASSERT_EQ(out.size(), 1u);
+  out.clear();
+  // ...but the ack lands 1ms later — faster than any observed round
+  // trip, so it answers the original transmission: the retransmission
+  // was spurious, and the stat says so.
+  s.on_ack(1, std::nullopt, 41000, out, 0, stats);
+  EXPECT_EQ(stats.spurious_rexmit, 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(ChannelReceiver, LatchesFirstStampUntilConsumed) {
+  ChannelReceiver r{adaptive_cfg()};
+  ChannelStats stats;
+  std::vector<util::BytesView> delivered;
+  r.on_data(1, bytes_of("a"), TimingStamp{100, false}, delivered, stats);
+  r.on_data(2, bytes_of("b"), TimingStamp{200, false}, delivered, stats);
+  // TCP-timestamps RTTM rule: the echo covers the *first* packet of the
+  // burst, so the sender's sample includes the delayed-ack wait.
+  ASSERT_TRUE(r.pending_echo().has_value());
+  EXPECT_EQ(r.pending_echo()->ts, 100u);
+  r.consume_echo();
+  EXPECT_FALSE(r.pending_echo().has_value());
+  r.on_data(3, bytes_of("c"), TimingStamp{300, true}, delivered, stats);
+  ASSERT_TRUE(r.pending_echo().has_value());
+  EXPECT_EQ(r.pending_echo()->ts, 300u);
+  EXPECT_TRUE(r.pending_echo()->rexmit);
+}
+
 TEST(ChannelPair, EndToEndWithLossyHandDelivery) {
   // Manual lossy loop with randomized ~33% loss (a deterministic modulo
   // pattern can align with the retransmission cycle and starve one seq

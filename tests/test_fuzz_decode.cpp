@@ -6,6 +6,8 @@
 // depth.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "core/endpoint.h"
@@ -20,6 +22,20 @@ namespace {
 using sim::kMillisecond;
 using sim::kSecond;
 
+// Iteration budget knob: NEWTOP_FUZZ_ITERS rescales every loop below
+// proportionally (the env value replaces the 20000 reference count, so
+// e.g. 200000 means 10x depth everywhere). PR CI runs the defaults;
+// the nightly workflow cranks this up where latency does not matter.
+int fuzz_iters(int base) {
+  static const double scale = [] {
+    const char* s = std::getenv("NEWTOP_FUZZ_ITERS");
+    if (s == nullptr) return 1.0;
+    const long v = std::strtol(s, nullptr, 10);
+    return v > 0 ? static_cast<double>(v) / 20000.0 : 1.0;
+  }();
+  return std::max(1, static_cast<int>(static_cast<double>(base) * scale));
+}
+
 util::Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
   util::Bytes b(rng.next_below(max_len + 1));
   for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_below(256));
@@ -28,7 +44,7 @@ util::Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
 
 TEST(FuzzDecode, PureRandomBytesNeverCrashDecoders) {
   util::Rng rng(20260610);
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
     const util::Bytes b = random_bytes(rng, 64);
     (void)OrderedMsg::decode(b);
     (void)FwdMsg::decode(b);
@@ -38,7 +54,57 @@ TEST(FuzzDecode, PureRandomBytesNeverCrashDecoders) {
     (void)FormInviteMsg::decode(b);
     (void)FormReplyMsg::decode(b);
     (void)BatchFrame::decode(b);
+    (void)ChannelDataFrame::decode(util::BytesView(b));
+    (void)ChannelAckFrame::decode(util::BytesView(b));
     (void)peek_type(b);
+  }
+}
+
+TEST(FuzzDecode, MutatedTimedChannelFramesNeverCrashDecoders) {
+  // The timing extension adds a flags byte and up to two varints to the
+  // channel packet headers; corrupting any of them must fail cleanly,
+  // and a surviving decode must stay within the backing buffer.
+  util::Rng rng(86420);
+  ChannelDataFrame data;
+  data.seq = 41;
+  data.cum_ack = 40;
+  data.timing = TimingStamp{123456789, false};
+  data.echo = TimingStamp{987654321, true};
+  data.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  ChannelAckFrame ack;
+  ack.cum_ack = 77;
+  ack.echo = TimingStamp{13579, false};
+  const util::Bytes valid_data = data.encode();
+  const util::Bytes valid_ack = ack.encode();
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
+    util::Bytes b = (i % 2 == 0) ? valid_data : valid_ack;
+    const int edits = 1 + static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.next_below(3)) {
+        case 0:
+          if (!b.empty()) {
+            b[rng.next_below(b.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+          }
+          break;
+        case 1:
+          if (!b.empty()) b.resize(rng.next_below(b.size()));
+          break;
+        case 2:
+          b.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+          break;
+      }
+    }
+    const util::BytesView view{b};
+    if (auto d = ChannelDataFrame::decode(view)) {
+      // Any payload slice a surviving decode hands out must lie within
+      // the backing buffer (the zero-copy invariant).
+      if (!d->payload.empty()) {
+        ASSERT_GE(d->payload.begin(), view.begin());
+        ASSERT_LE(d->payload.end(), view.end());
+      }
+    }
+    (void)ChannelAckFrame::decode(view);
   }
 }
 
@@ -52,7 +118,7 @@ TEST(FuzzDecode, MutatedValidMessagesNeverCrashDecoders) {
   m.ldn = 990;
   m.payload = {1, 2, 3, 4, 5};
   const util::Bytes valid = m.encode();
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
     util::Bytes b = valid;
     // 1-3 random point mutations (flips, truncations, extensions).
     const int edits = 1 + static_cast<int>(rng.next_below(3));
@@ -90,7 +156,7 @@ TEST(FuzzDecode, MutatedBatchFramesNeverCrashDecoder) {
   BatchFrame frame;
   frame.payloads = {inner.encode(), inner.encode(), inner.encode()};
   const util::Bytes valid = frame.encode();
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
     util::Bytes b = valid;
     const int edits = 1 + static_cast<int>(rng.next_below(3));
     for (int e = 0; e < edits; ++e) {
@@ -142,7 +208,7 @@ TEST(FuzzDecode, EndpointSurvivesHostileBatches) {
   BatchFrame valid;
   valid.payloads = {inner.encode(), inner.encode()};
   const util::Bytes raw = valid.encode();
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < fuzz_iters(2000); ++i) {
     util::Bytes b = raw;
     if (rng.next_below(2) == 0) {
       b.resize(rng.next_below(b.size()));  // truncate
@@ -179,7 +245,7 @@ TEST(FuzzDecode, EndpointSurvivesGarbageStream) {
   simhost::SimWorld w(cfg);
   w.create_group(1, {0, 1});
   util::Rng rng(777);
-  for (int i = 0; i < 5000; ++i) {
+  for (int i = 0; i < fuzz_iters(5000); ++i) {
     w.ep(1).on_message(0, random_bytes(rng, 48), w.now());
   }
   w.multicast(0, 1, "real");
@@ -269,7 +335,7 @@ TEST(FuzzDecode, ViewDecodersSliceWithinBackingBuffer) {
            v.data() + v.size() <= base + v.buffer()->size();
   };
 
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
     // A valid encoding (mutated) or pure garbage, embedded mid-buffer
     // between random pads; decode over the interior slice.
     util::Bytes content = i % 2 == 0 ? seeds[rng.next_below(seeds.size())]
@@ -321,7 +387,7 @@ TEST(FuzzDecode, RouterSurvivesGarbageDatagrams) {
   transport::Router router(
       0, {}, [](transport::PeerId, util::Bytes) {},
       [&delivered](transport::PeerId, util::BytesView) { ++delivered; });
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
     router.on_datagram(1, random_bytes(rng, 40), i);
   }
   // Garbage may accidentally form valid-looking data packets; the channel

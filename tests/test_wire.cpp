@@ -280,5 +280,122 @@ TEST(Wire, HeaderSizeBoundedRegardlessOfGroupSize) {
   EXPECT_LE(typical.encode().size(), 16u);
 }
 
+// --- Channel packet frames (transport plane) --------------------------
+
+TEST(ChannelFrames, UntimedDataFrameMatchesLegacyLayout) {
+  // adaptive_rto=false must keep the wire byte-for-byte: kind, seq,
+  // cum_ack, length-prefixed payload — nothing else.
+  ChannelDataFrame f;
+  f.seq = 5;
+  f.cum_ack = 3;
+  f.payload = {0xaa, 0xbb};
+  const util::Bytes raw = f.encode();
+  const util::Bytes legacy = {/*kind*/ 0, /*seq*/ 5, /*cum*/ 3,
+                              /*len*/ 2,  0xaa,      0xbb};
+  EXPECT_EQ(raw, legacy);
+  const auto d = ChannelDataFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq, 5u);
+  EXPECT_EQ(d->cum_ack, 3u);
+  EXPECT_FALSE(d->timing.has_value());
+  EXPECT_FALSE(d->echo.has_value());
+  EXPECT_EQ(d->payload, f.payload);
+}
+
+TEST(ChannelFrames, UntimedAckFrameMatchesLegacyLayout) {
+  ChannelAckFrame f;
+  f.cum_ack = 200;
+  const util::Bytes raw = f.encode();
+  const util::Bytes legacy = {/*kind*/ 1, /*varint 200*/ 0xc8, 0x01};
+  EXPECT_EQ(raw, legacy);
+  const auto d = ChannelAckFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->cum_ack, 200u);
+  EXPECT_FALSE(d->echo.has_value());
+}
+
+TEST(ChannelFrames, TimedDataFrameRoundTrips) {
+  ChannelDataFrame f;
+  f.seq = 77;
+  f.cum_ack = 76;
+  f.timing = TimingStamp{123456789, true};
+  f.echo = TimingStamp{987654321, false};
+  f.payload = {9, 8, 7};
+  const util::Bytes raw = f.encode();
+  EXPECT_EQ(raw[0], 0x80);  // kData | timing flag
+  const auto d = ChannelDataFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq, 77u);
+  EXPECT_EQ(d->cum_ack, 76u);
+  ASSERT_TRUE(d->timing.has_value());
+  EXPECT_EQ(d->timing->ts, 123456789u);
+  EXPECT_TRUE(d->timing->rexmit);
+  ASSERT_TRUE(d->echo.has_value());
+  EXPECT_EQ(d->echo->ts, 987654321u);
+  EXPECT_FALSE(d->echo->rexmit);
+  EXPECT_EQ(d->payload, f.payload);
+}
+
+TEST(ChannelFrames, TimedAckFrameRoundTrips) {
+  ChannelAckFrame f;
+  f.cum_ack = 12;
+  f.echo = TimingStamp{42, true};
+  const util::Bytes raw = f.encode();
+  EXPECT_EQ(raw[0], 0x81);  // kAck | timing flag
+  const auto d = ChannelAckFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->cum_ack, 12u);
+  ASSERT_TRUE(d->echo.has_value());
+  EXPECT_EQ(d->echo->ts, 42u);
+  EXPECT_TRUE(d->echo->rexmit);
+}
+
+TEST(ChannelFrames, DecodeIgnoresUnknownExtensionFlagBits) {
+  // Version tolerance: a future sender may set flag bits we do not
+  // know; the known fields must still decode.
+  ChannelDataFrame f;
+  f.seq = 1;
+  f.cum_ack = 0;
+  f.timing = TimingStamp{99, false};
+  f.payload = {1};
+  util::Bytes raw = f.encode();
+  raw[3] |= 0xf0;  // flags byte: set the four unassigned high bits
+  const auto d = ChannelDataFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(d->timing.has_value());
+  EXPECT_EQ(d->timing->ts, 99u);
+  EXPECT_EQ(d->payload, f.payload);
+}
+
+TEST(ChannelFrames, DecodeRejectsTruncatedTimedFrames) {
+  ChannelDataFrame f;
+  f.seq = 1;
+  f.cum_ack = 0;
+  f.timing = TimingStamp{1234567, false};
+  f.echo = TimingStamp{7654321, false};
+  f.payload = {1, 2, 3};
+  const util::Bytes raw = f.encode();
+  for (std::size_t cut = 1; cut < raw.size(); ++cut) {
+    util::Bytes t(raw.begin(),
+                  raw.begin() + static_cast<std::ptrdiff_t>(cut));
+    // Must never crash; shorter prefixes mostly fail, and any prefix
+    // that still parses must not read past its own bounds (ASan-checked).
+    (void)ChannelDataFrame::decode(util::BytesView(t));
+  }
+  const auto whole = ChannelDataFrame::decode(util::BytesView(raw));
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->payload, f.payload);
+}
+
+TEST(ChannelFrames, KindMismatchRejected) {
+  ChannelAckFrame a;
+  a.cum_ack = 1;
+  EXPECT_FALSE(ChannelDataFrame::decode(util::BytesView(a.encode())));
+  ChannelDataFrame dfr;
+  dfr.seq = 1;
+  dfr.payload = {1};
+  EXPECT_FALSE(ChannelAckFrame::decode(util::BytesView(dfr.encode())));
+}
+
 }  // namespace
 }  // namespace newtop
