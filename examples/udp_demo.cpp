@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,11 +27,31 @@ util::Bytes bytes_of(const std::string& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace std::chrono_literals;
   UdpNodeConfig cfg;
   cfg.endpoint.omega = 25 * sim::kMillisecond;
   cfg.endpoint.omega_big = 200 * sim::kMillisecond;
+  // Socket-layer knobs (docs/TRANSPORT.md, "Kernel-batched socket I/O"):
+  //   --no-mmsg    per-packet sendmsg/recvmsg instead of burst syscalls
+  //   --burst N    datagrams per sendmmsg/recvmmsg call
+  //   --shards N   extra SO_REUSEPORT receive threads per node
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-mmsg") {
+      cfg.transport.use_mmsg = false;
+    } else if (arg == "--burst" && i + 1 < argc) {
+      cfg.transport.burst = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      cfg.transport.rx_shards =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--no-mmsg] [--burst N] [--shards N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   // Real networks have real (and varying) RTTs: let the transport learn
   // each peer's instead of retransmitting on a 20ms constant
   // (docs/TRANSPORT.md).
@@ -107,6 +128,22 @@ int main() {
       d1.empty() ? "?" : std::string(d1.back().payload.begin(),
                                      d1.back().payload.end());
   std::printf("P1's last delivery: [%s]\n", last.c_str());
+
+  // The syscall-batching telemetry: datagrams per syscall is the
+  // achieved burst depth, rx copies must read 0 (zero-copy receive).
+  std::printf("\nsocket I/O (P0's transport, %s mode):\n",
+              nodes[0]->transport()->mmsg_enabled() ? "mmsg" : "fallback");
+  const transport::TransportIoStats io = nodes[0]->transport()->io_stats();
+  std::printf(
+      "  tx: %llu datagrams in %llu syscalls   rx: %llu datagrams in "
+      "%llu syscalls\n",
+      static_cast<unsigned long long>(io.tx_datagrams),
+      static_cast<unsigned long long>(io.tx_syscalls),
+      static_cast<unsigned long long>(io.rx_datagrams),
+      static_cast<unsigned long long>(io.rx_syscalls));
+  std::printf("  loop wakeups: %llu   rx copies: %llu\n",
+              static_cast<unsigned long long>(io.wakeups),
+              static_cast<unsigned long long>(io.rx_copies));
   nodes[0]->stop();
   nodes[1]->stop();
   return 0;

@@ -95,6 +95,16 @@ struct ChannelStats {
   std::int64_t srtt_us = 0;
   std::int64_t rttvar_us = 0;
   std::int64_t rto_current_us = 0;
+  // Socket-host I/O counters (syscall batching telemetry). Filled by
+  // hosts that own a kernel socket (`UdpNode::transport_stats` overlays
+  // them from its UdpTransport, transport-wide); zero under the sim and
+  // threaded hosts, and `Router::total_stats` leaves them untouched.
+  std::uint64_t tx_syscalls = 0;   // sendmmsg/sendmsg calls
+  std::uint64_t rx_syscalls = 0;   // recvmmsg/recvmsg calls (incl. empty drains)
+  std::uint64_t tx_datagrams = 0;  // datagrams handed to the kernel
+  std::uint64_t rx_datagrams = 0;  // datagrams received from the kernel
+  std::uint64_t rx_copies = 0;     // rx datagrams that cost a staging copy
+  std::uint64_t wakeups = 0;       // event-loop poll returns
 };
 
 // Wire framing for channel packets (encode/decode live in core/wire.h as

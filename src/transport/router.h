@@ -158,6 +158,20 @@ class Router {
   // symmetrically, which hosts do on view exclusion.)
   void reset_peer(PeerId peer) { peers_.erase(peer); }
 
+  // The earliest instant this router has timer-driven work: the soonest
+  // in-flight retransmission expiry or pending delayed-ack deadline
+  // across all peers (kTimeNever when fully idle). Hosts bound their
+  // poll/sleep by it, so sub-tick adaptive RTOs and ack-delay windows
+  // fire on time instead of waiting out a fixed tick.
+  Time next_deadline(Time now) const {
+    Time best = sim::kTimeNever;
+    for (const auto& [id, peer] : peers_) {
+      best = std::min(best, peer.sender.next_deadline(now));
+      if (peer.ack_pending) best = std::min(best, peer.ack_due);
+    }
+    return best;
+  }
+
   bool idle() const {
     for (const auto& [id, peer] : peers_) {
       if (!peer.sender.idle() || !peer.pending.empty()) return false;

@@ -1,22 +1,34 @@
 #include "transport/udp_transport.h"
 
 #include <arpa/inet.h>
+#include <errno.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "util/check.h"
 #include "util/logging.h"
 
+// The kernel burst syscalls. Non-Linux builds (and -DNEWTOP_NO_MMSG,
+// the portability / benchmarking switch) take the per-packet
+// sendmsg/recvmsg path below; the wire format is identical, so mixed
+// deployments interoperate.
+#if defined(__linux__) && !defined(NEWTOP_NO_MMSG)
+#define NEWTOP_HAS_MMSG 1
+#else
+#define NEWTOP_HAS_MMSG 0
+#endif
+
 namespace newtop::transport {
 
 namespace {
-constexpr std::size_t kMaxDatagram = 65536;
 
 sockaddr_in loopback(std::uint16_t port) {
   sockaddr_in addr{};
@@ -25,13 +37,66 @@ sockaddr_in loopback(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
 }
+
+sim::Time steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void put_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Deadline-bounded poll. On Linux ppoll gives microsecond precision, so
+// the loop wakes exactly at the earliest RTO / delayed-ack deadline; the
+// portable fallback rounds the timeout up to whole milliseconds (poll
+// cannot do better — a sub-ms deadline then fires up to 1ms late, never
+// busy-spins at a truncated zero timeout).
+int poll_us(pollfd* fds, nfds_t nfds, sim::Duration timeout_us) {
+#if defined(__linux__)
+  timespec ts;
+  ts.tv_sec = timeout_us / sim::kSecond;
+  ts.tv_nsec = (timeout_us % sim::kSecond) * 1000;
+  return ::ppoll(fds, nfds, &ts, nullptr);
+#else
+  const sim::Duration ms =
+      (timeout_us + sim::kMillisecond - 1) / sim::kMillisecond;
+  return ::poll(fds, nfds, static_cast<int>(std::min<sim::Duration>(
+                               ms, std::numeric_limits<int>::max())));
+#endif
+}
+
 }  // namespace
 
-UdpSocket::UdpSocket(std::uint16_t port) {
+// ---------------------------------------------------------------------------
+// UdpSocket
+
+UdpSocket::UdpSocket(std::uint16_t port, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   NEWTOP_CHECK_MSG(fd_ >= 0, "socket() failed");
   const int flags = ::fcntl(fd_, F_GETFL, 0);
   NEWTOP_CHECK(::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0);
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    const int one = 1;
+    NEWTOP_CHECK_MSG(::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one,
+                                  sizeof(one)) == 0,
+                     "setsockopt(SO_REUSEPORT) failed");
+#else
+    NEWTOP_CHECK_MSG(false, "SO_REUSEPORT unsupported on this platform");
+#endif
+  }
   sockaddr_in addr = loopback(port);
   NEWTOP_CHECK_MSG(
       ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
@@ -56,7 +121,7 @@ void UdpSocket::send_to(std::uint16_t dest_port, const util::Bytes& data) {
 }
 
 bool UdpSocket::receive(std::uint16_t& from_port, util::Bytes& data) {
-  std::uint8_t buf[kMaxDatagram];
+  std::uint8_t buf[65536];
   sockaddr_in from{};
   socklen_t len = sizeof(from);
   const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
@@ -72,28 +137,467 @@ bool UdpSocket::wait_readable(int timeout_ms) {
   return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
 }
 
-UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
-    : id_(id), cfg_(config), socket_(port) {
+// ---------------------------------------------------------------------------
+// UdpTransport
+
+// Per-consumer burst scratch. `slabs` are full-size pooled buffers the
+// kernel writes datagrams into; a consumed slab is moved out (shared,
+// sliced, handed upward) and its slot refilled from the pool on the next
+// drain — recycled slabs come back at full element count, so no
+// zero-fill and no copy ever touches the receive path. The tx arrays are
+// used only by the event loop's flush (shards never transmit).
+struct UdpTransport::RxSlots {
+  std::vector<util::Bytes> slabs;
+#if NEWTOP_HAS_MMSG
+  std::vector<mmsghdr> msgs;
+  std::vector<iovec> iovs;
+  std::vector<sockaddr_in> addrs;
+  std::vector<mmsghdr> tx_msgs;
+  std::vector<iovec> tx_iovs;
+  std::vector<sockaddr_in> tx_addrs;
+#endif
+  explicit RxSlots(std::size_t burst) : slabs(burst) {
+#if NEWTOP_HAS_MMSG
+    msgs.resize(burst);
+    iovs.resize(burst);
+    addrs.resize(burst);
+    tx_msgs.resize(burst);
+    tx_iovs.resize(burst * 2);
+    tx_addrs.resize(burst);
+#endif
+  }
+};
+
+UdpTransport::UdpTransport(std::uint16_t port, UdpTransportConfig config)
+    : cfg_(config), socket_(port, config.rx_shards > 0) {
+  NEWTOP_CHECK(cfg_.burst > 0);
+  // Floor the pool's per-class byte budget at the burst working set:
+  // up to 2*burst full-size rx slabs are in flight between drains, and
+  // a pool that cannot hold them round-trips every datagram through the
+  // allocator.
+  cfg_.pool.max_bytes_per_class =
+      std::max(cfg_.pool.max_bytes_per_class,
+               2 * cfg_.burst * cfg_.rx_buffer_bytes);
+  cfg_.pool.max_class = std::max(cfg_.pool.max_class, cfg_.rx_buffer_bytes);
   pool_ = util::BufferPool::create(cfg_.pool);
+  shard_threads_target_ = cfg_.rx_shards;
+  for (std::size_t i = 0; i < shard_threads_target_; ++i) {
+    shard_sockets_.push_back(
+        std::make_unique<UdpSocket>(socket_.port(), /*reuse_port=*/true));
+  }
+  NEWTOP_CHECK_MSG(::pipe(wake_fds_) == 0, "pipe() failed");
+  for (int fd : wake_fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    NEWTOP_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+  }
+  loop_slots_ = std::make_unique<RxSlots>(cfg_.burst);
+}
+
+UdpTransport::~UdpTransport() {
+  stop();
+  for (auto& entry : tx_pending_) pool_->release(std::move(entry.data));
+  tx_pending_.clear();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+bool UdpTransport::mmsg_enabled() const {
+#if NEWTOP_HAS_MMSG
+  return cfg_.use_mmsg;
+#else
+  return false;
+#endif
+}
+
+void UdpTransport::add_route(ProcessId peer, std::uint16_t port) {
+  std::scoped_lock lock(routes_mutex_);
+  routes_[peer] = port;
+}
+
+TransportIoStats UdpTransport::io_stats() const {
+  TransportIoStats s;
+  s.tx_syscalls = tx_syscalls_.load(std::memory_order_relaxed);
+  s.rx_syscalls = rx_syscalls_.load(std::memory_order_relaxed);
+  s.tx_datagrams = tx_datagrams_.load(std::memory_order_relaxed);
+  s.rx_datagrams = rx_datagrams_.load(std::memory_order_relaxed);
+  s.rx_copies = rx_copies_.load(std::memory_order_relaxed);
+  s.rx_truncated = rx_truncated_.load(std::memory_order_relaxed);
+  s.rx_unroutable = rx_unroutable_.load(std::memory_order_relaxed);
+  s.tx_dropped = tx_dropped_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void UdpTransport::start() {
+  std::scoped_lock lock(state_mutex_);
+  if (started_) return;
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop(); });
+  for (std::size_t i = 0; i < shard_threads_target_; ++i) {
+    shard_threads_.emplace_back([this, i] { shard_loop(i); });
+  }
+}
+
+void UdpTransport::stop() {
+  {
+    std::scoped_lock lock(state_mutex_);
+    if (!started_) return;
+  }
+  stopping_.store(true);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& t : shard_threads_) {
+    if (t.joinable()) t.join();
+  }
+  shard_threads_.clear();
+}
+
+void UdpTransport::attach(UdpNode* node) {
+  std::scoped_lock lock(state_mutex_);
+  const auto [it, inserted] = nodes_.emplace(node->id(), node);
+  NEWTOP_CHECK_MSG(inserted, "duplicate node id on transport");
+  wake();
+}
+
+void UdpTransport::detach(UdpNode* node) {
+  std::unique_lock lock(state_mutex_);
+  nodes_.erase(node->id());
+  wake();  // cut a long idle poll short; in_dispatch_ spans it
+  // The loop may be mid-iteration with the node still in its snapshot;
+  // wait it out so the node cannot be touched after detach returns.
+  // (Consequently a node must not be stopped from the loop thread
+  // itself — i.e. from inside an event sink or command.)
+  detach_cv_.wait(lock, [this] { return !in_dispatch_; });
+}
+
+void UdpTransport::queue_send(ProcessId from, ProcessId to,
+                              util::Bytes data) {
+  std::uint16_t dest = 0;
+  {
+    std::scoped_lock lock(routes_mutex_);
+    auto it = routes_.find(to);
+    if (it == routes_.end()) {
+      NEWTOP_LOG_WARN("udp transport: no route for peer %u", to);
+      tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+      pool_->release(std::move(data));
+      return;
+    }
+    dest = it->second;
+  }
+  if (tx_pending_.size() >= cfg_.max_tx_backlog) {
+    // Backlog cap: the socket is slower than the protocol. Excess is
+    // datagram loss — the reliable channel retransmits.
+    tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    pool_->release(std::move(data));
+    return;
+  }
+  TxEntry entry;
+  entry.dest_port = dest;
+  entry.hdr[0] = kUdpEnvelopeMagic;
+  put_le32(entry.hdr + 1, from);
+  put_le32(entry.hdr + 5, to);
+  entry.data = std::move(data);
+  tx_pending_.push_back(std::move(entry));
+}
+
+void UdpTransport::wake() {
+  if (wake_pending_.exchange(true)) return;
+  const std::uint8_t b = 0;
+  (void)!::write(wake_fds_[1], &b, 1);
+}
+
+void UdpTransport::drain_socket(int fd, RxSlots& slots,
+                                std::vector<RxItem>& out) {
+  const auto consume = [&](util::Bytes& slab, std::size_t len, int flags) {
+    if ((flags & MSG_TRUNC) != 0) {
+      // Datagram exceeded rx_buffer_bytes: undecodable, drop. The slab
+      // stays in its slot for the next datagram.
+      rx_truncated_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (len < kUdpEnvelopeSize || slab[0] != kUdpEnvelopeMagic) {
+      rx_unroutable_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    RxItem item;
+    item.src = get_le32(slab.data() + 1);
+    item.dst = get_le32(slab.data() + 5);
+    // The slab is shared at full size and the payload handed upward as a
+    // slice past the envelope — no resize (a recycled slab would pay the
+    // zero-fill back on reacquire) and no copy, ever. Long-lived slices
+    // of mostly-empty slabs are the retention compactor's job.
+    item.payload = util::BytesView(pool_->share(std::move(slab)),
+                                   kUdpEnvelopeSize,
+                                   len - kUdpEnvelopeSize);
+    out.push_back(std::move(item));
+  };
+
+#if NEWTOP_HAS_MMSG
+  if (cfg_.use_mmsg) {
+    const std::size_t burst = cfg_.burst;
+    for (;;) {
+      for (std::size_t i = 0; i < burst; ++i) {
+        if (slots.slabs[i].empty()) {
+          slots.slabs[i] = pool_->acquire_full(cfg_.rx_buffer_bytes);
+        }
+        slots.iovs[i].iov_base = slots.slabs[i].data();
+        slots.iovs[i].iov_len = slots.slabs[i].size();
+        std::memset(&slots.msgs[i].msg_hdr, 0, sizeof(msghdr));
+        slots.msgs[i].msg_hdr.msg_iov = &slots.iovs[i];
+        slots.msgs[i].msg_hdr.msg_iovlen = 1;
+        slots.msgs[i].msg_hdr.msg_name = &slots.addrs[i];
+        slots.msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        slots.msgs[i].msg_len = 0;
+      }
+      const int n = ::recvmmsg(fd, slots.msgs.data(),
+                               static_cast<unsigned>(burst), MSG_DONTWAIT,
+                               nullptr);
+      rx_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      if (n <= 0) return;
+      rx_datagrams_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+      for (int i = 0; i < n; ++i) {
+        consume(slots.slabs[static_cast<std::size_t>(i)],
+                slots.msgs[static_cast<std::size_t>(i)].msg_len,
+                slots.msgs[static_cast<std::size_t>(i)].msg_hdr.msg_flags);
+      }
+      // A short burst means the queue is drained; a full one may hide
+      // more behind it.
+      if (static_cast<std::size_t>(n) < burst) return;
+    }
+  }
+#endif
+  // Per-packet fallback: same pooled-slab discipline, one datagram per
+  // recvmsg call.
+  for (;;) {
+    if (slots.slabs[0].empty()) {
+      slots.slabs[0] = pool_->acquire_full(cfg_.rx_buffer_bytes);
+    }
+    iovec iov{slots.slabs[0].data(), slots.slabs[0].size()};
+    sockaddr_in from{};
+    msghdr mh{};
+    mh.msg_iov = &iov;
+    mh.msg_iovlen = 1;
+    mh.msg_name = &from;
+    mh.msg_namelen = sizeof(from);
+    const ssize_t n = ::recvmsg(fd, &mh, MSG_DONTWAIT);
+    rx_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) return;
+    rx_datagrams_.fetch_add(1, std::memory_order_relaxed);
+    consume(slots.slabs[0], static_cast<std::size_t>(n), mh.msg_flags);
+  }
+}
+
+void UdpTransport::flush_tx() {
+#if NEWTOP_HAS_MMSG
+  if (cfg_.use_mmsg) {
+    RxSlots& s = *loop_slots_;
+    while (!tx_pending_.empty()) {
+      const std::size_t cnt = std::min(cfg_.burst, tx_pending_.size());
+      for (std::size_t i = 0; i < cnt; ++i) {
+        TxEntry& e = tx_pending_[i];
+        s.tx_addrs[i] = loopback(static_cast<std::uint16_t>(e.dest_port));
+        s.tx_iovs[2 * i].iov_base = e.hdr;
+        s.tx_iovs[2 * i].iov_len = kUdpEnvelopeSize;
+        s.tx_iovs[2 * i + 1].iov_base = e.data.data();
+        s.tx_iovs[2 * i + 1].iov_len = e.data.size();
+        std::memset(&s.tx_msgs[i].msg_hdr, 0, sizeof(msghdr));
+        s.tx_msgs[i].msg_hdr.msg_iov = &s.tx_iovs[2 * i];
+        s.tx_msgs[i].msg_hdr.msg_iovlen = e.data.empty() ? 1 : 2;
+        s.tx_msgs[i].msg_hdr.msg_name = &s.tx_addrs[i];
+        s.tx_msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        s.tx_msgs[i].msg_len = 0;
+      }
+      const int n = ::sendmmsg(socket_.fd(), s.tx_msgs.data(),
+                               static_cast<unsigned>(cnt), MSG_DONTWAIT);
+      tx_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT resumes
+        // Head datagram is unsendable for another reason: treat as loss
+        // so the queue cannot wedge.
+        tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+        pool_->release(std::move(tx_pending_.front().data));
+        tx_pending_.pop_front();
+        continue;
+      }
+      for (int i = 0; i < n; ++i) {
+        pool_->release(std::move(tx_pending_.front().data));
+        tx_pending_.pop_front();
+      }
+      tx_datagrams_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    }
+    return;
+  }
+#endif
+  while (!tx_pending_.empty()) {
+    TxEntry& e = tx_pending_.front();
+    sockaddr_in addr = loopback(static_cast<std::uint16_t>(e.dest_port));
+    iovec iovs[2];
+    iovs[0].iov_base = e.hdr;
+    iovs[0].iov_len = kUdpEnvelopeSize;
+    iovs[1].iov_base = e.data.data();
+    iovs[1].iov_len = e.data.size();
+    msghdr mh{};
+    mh.msg_iov = iovs;
+    mh.msg_iovlen = e.data.empty() ? 1 : 2;
+    mh.msg_name = &addr;
+    mh.msg_namelen = sizeof(addr);
+    const ssize_t n = ::sendmsg(socket_.fd(), &mh, MSG_DONTWAIT);
+    tx_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tx_datagrams_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pool_->release(std::move(e.data));
+    tx_pending_.pop_front();
+  }
+}
+
+bool UdpTransport::wait_events(sim::Duration timeout_us,
+                               bool poll_socket_rx) {
+  pollfd fds[2];
+  fds[0] = {wake_fds_[0], POLLIN, 0};
+  short sock_events = 0;
+  if (poll_socket_rx) sock_events |= POLLIN;
+  if (!tx_pending_.empty()) sock_events |= POLLOUT;
+  fds[1] = {socket_.fd(), sock_events, 0};
+  const nfds_t nfds = sock_events != 0 ? 2 : 1;
+  const int ret = poll_us(fds, nfds, std::max<sim::Duration>(0, timeout_us));
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  if (ret > 0 && (fds[0].revents & POLLIN) != 0) {
+    // Drain before clearing the flag: a writer sets the flag before it
+    // writes, so any byte racing past the drain leaves the flag set and
+    // the next wake() writes again — no lost wakeups.
+    std::uint8_t buf[64];
+    while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+    }
+    wake_pending_.store(false);
+  }
+  // Readable, per the kernel — the caller skips the receive drain
+  // otherwise (a guaranteed-empty recv* call per iteration would be
+  // pure syscall waste; new arrivals always re-arm POLLIN).
+  return ret > 0 && (fds[1].revents & POLLIN) != 0;
+}
+
+void UdpTransport::loop() {
+  std::vector<RxItem> items;
+  std::map<ProcessId, UdpNode*> snapshot;
+  while (!stopping_.load()) {
+    {
+      std::scoped_lock lock(state_mutex_);
+      snapshot = nodes_;
+      in_dispatch_ = true;
+    }
+    sim::Time now = steady_now_us();
+    // Wake at the earliest pending deadline: the soonest RTO expiry or
+    // delayed-ack window across every attached node's router, or the
+    // node's protocol-tick boundary, whichever is first — capped by
+    // max_idle_wait when nothing is due.
+    sim::Time deadline = now + cfg_.max_idle_wait;
+    for (const auto& [id, node] : snapshot) {
+      deadline = std::min(deadline, node->next_deadline(now));
+    }
+    const bool sock_readable =
+        wait_events(deadline - now, /*poll_socket_rx=*/true);
+
+    // Receive: burst-drain the loop's socket, then collect whatever the
+    // shard threads handed over.
+    items.clear();
+    if (sock_readable) drain_socket(socket_.fd(), *loop_slots_, items);
+    if (shard_threads_target_ > 0) {
+      std::scoped_lock lock(rxq_mutex_);
+      if (items.empty()) {
+        items.swap(rx_queue_);
+      } else {
+        items.insert(items.end(),
+                     std::make_move_iterator(rx_queue_.begin()),
+                     std::make_move_iterator(rx_queue_.end()));
+        rx_queue_.clear();
+      }
+    }
+    now = steady_now_us();
+    for (auto& item : items) {
+      const auto it = snapshot.find(item.dst);
+      if (it == snapshot.end()) {
+        rx_unroutable_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      it->second->on_rx(item.src, std::move(item.payload), now);
+    }
+    // Application commands + protocol ticks, then the transmit flush:
+    // batched payloads and deferred acks coalesce, retransmissions due
+    // by now fire, and everything leaves in sendmmsg bursts.
+    now = steady_now_us();
+    for (const auto& [id, node] : snapshot) node->pump(now);
+    now = steady_now_us();
+    for (const auto& [id, node] : snapshot) node->flush(now);
+    flush_tx();
+    {
+      std::scoped_lock lock(state_mutex_);
+      in_dispatch_ = false;
+    }
+    detach_cv_.notify_all();
+  }
+  // Final flush so acks/data queued by the last iteration are not
+  // silently stranded (best-effort; errors are loss as usual).
+  flush_tx();
+}
+
+void UdpTransport::shard_loop(std::size_t shard) {
+  RxSlots slots(cfg_.burst);
+  const int fd = shard_sockets_[shard]->fd();
+  std::vector<RxItem> items;
+  while (!stopping_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ret = ::poll(&pfd, 1, 100);
+    if (ret <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    items.clear();
+    drain_socket(fd, slots, items);
+    if (items.empty()) continue;
+    {
+      std::scoped_lock lock(rxq_mutex_);
+      rx_queue_.insert(rx_queue_.end(),
+                       std::make_move_iterator(items.begin()),
+                       std::make_move_iterator(items.end()));
+    }
+    wake();
+  }
+  for (auto& slab : slots.slabs) {
+    if (!slab.empty()) pool_->release(std::move(slab));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UdpNode
+
+UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
+    : id_(id) {
+  UdpTransportConfig tc = config.transport;
+  tc.pool = config.pool;  // the node-level pool config is authoritative
+  transport_ = std::make_shared<UdpTransport>(port, tc);
+  owns_transport_ = true;
+  init(std::move(config));
+}
+
+UdpNode::UdpNode(ProcessId id, std::shared_ptr<UdpTransport> transport,
+                 UdpNodeConfig config)
+    : id_(id), transport_(std::move(transport)) {
+  NEWTOP_CHECK(transport_ != nullptr);
+  init(std::move(config));
+}
+
+void UdpNode::init(UdpNodeConfig&& config) {
+  cfg_ = std::move(config);
+  pool_ = transport_->pool();
   cfg_.channel.pool = pool_;
-  recv_scratch_.reserve(kMaxDatagram);
   router_ = std::make_unique<Router>(
       id_, cfg_.channel,
       /*send=*/
       [this](PeerId to, util::Bytes data) {
-        std::uint16_t dest;
-        {
-          std::scoped_lock lock(mutex_);
-          auto it = peer_ports_.find(to);
-          if (it == peer_ports_.end()) {
-            NEWTOP_LOG_WARN("udp node %u: no port for peer %u", id_, to);
-            return;
-          }
-          dest = it->second;
-        }
-        socket_.send_to(dest, data);
-        // The kernel copied the datagram; recycle the encode buffer.
-        pool_->release(std::move(data));
+        transport_->queue_send(id_, to, std::move(data));
       },
       /*deliver=*/
       [this](PeerId from, util::BytesView payload) {
@@ -123,29 +627,33 @@ UdpNode::UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config)
 
 UdpNode::~UdpNode() { stop(); }
 
-sim::Time UdpNode::now_us() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+sim::Time UdpNode::now_us() const { return steady_now_us(); }
 
 void UdpNode::add_peer(ProcessId peer, std::uint16_t port) {
-  std::scoped_lock lock(mutex_);
-  peer_ports_[peer] = port;
-  port_peers_[port] = peer;
+  transport_->add_route(peer, port);
 }
 
 void UdpNode::start() {
-  NEWTOP_CHECK(!thread_.joinable());
-  thread_ = std::thread([this] { run(); });
+  {
+    std::scoped_lock lock(mutex_);
+    NEWTOP_CHECK(!attached_ && !stopping_);
+    attached_ = true;
+  }
+  next_tick_ = 0;  // first pump ticks immediately, then every interval
+  transport_->start();
+  transport_->attach(this);
 }
 
 void UdpNode::stop() {
+  bool was_attached = false;
   {
     std::scoped_lock lock(mutex_);
     stopping_ = true;
+    was_attached = attached_;
+    attached_ = false;
   }
-  if (thread_.joinable()) thread_.join();
+  if (was_attached) transport_->detach(this);
+  if (owns_transport_) transport_->stop();
   // Drop commands that never ran: destroying them breaks their promises
   // / fires their completion guards, so a blocked GroupHandle call
   // unblocks (kNotMember) instead of hanging. Destroyed outside the
@@ -158,9 +666,12 @@ void UdpNode::stop() {
 }
 
 bool UdpNode::enqueue_host_command(HostCommand fn) {
-  std::scoped_lock lock(mutex_);
-  if (stopping_) return false;
-  commands_.push_back(std::move(fn));
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) return false;
+    commands_.push_back(std::move(fn));
+  }
+  transport_->wake();
   return true;
 }
 
@@ -169,55 +680,38 @@ void UdpNode::record_host_send(SendResult r) {
   send_counts_.note(r);
 }
 
-void UdpNode::run() {
-  sim::Time next_tick = now_us() + cfg_.tick_interval;
-  while (true) {
-    {
-      std::scoped_lock lock(mutex_);
-      if (stopping_) return;
-    }
-    const sim::Time now = now_us();
-    const int wait_ms = static_cast<int>(
-        std::max<sim::Time>(1, (next_tick - now) / sim::kMillisecond));
-    socket_.wait_readable(std::min(wait_ms, 20));
+void UdpNode::on_rx(ProcessId from, util::BytesView payload, sim::Time now) {
+  router_->on_datagram(from, std::move(payload), now);
+}
 
-    // Drain the socket. Each datagram lands in a reusable max-size
-    // scratch first (so the pooled buffer can be acquired right-sized —
-    // acquiring before knowing the length would either waste a 64KB
-    // class per datagram or grow past the pooled capacity and defeat
-    // the pool), then becomes one owned pooled buffer everything upward
-    // holds slices of.
-    std::uint16_t from_port;
-    while (socket_.receive(from_port, recv_scratch_)) {
-      ProcessId from = kNoProcess;
-      {
-        std::scoped_lock lock(mutex_);
-        auto it = port_peers_.find(from_port);
-        if (it != port_peers_.end()) from = it->second;
-      }
-      if (from == kNoProcess) continue;
-      util::Bytes data = pool_->acquire(recv_scratch_.size());
-      data.assign(recv_scratch_.begin(), recv_scratch_.end());
-      router_->on_datagram(from, util::BytesView(pool_->share(std::move(data))),
-                           now_us());
-    }
-    // Drain application commands.
-    std::deque<std::function<void(Endpoint&, sim::Time)>> cmds;
-    {
-      std::scoped_lock lock(mutex_);
-      cmds.swap(commands_);
-    }
-    for (auto& cmd : cmds) cmd(*endpoint_, now_us());
-    // Idle boundary: everything this iteration's inputs caused has been
-    // processed — flush batched payloads and deferred acks.
-    router_->flush_batches(now_us());
-    // Protocol + retransmission ticks.
-    if (now_us() >= next_tick) {
-      router_->tick(now_us());
-      endpoint_->on_tick(now_us());
-      next_tick = now_us() + cfg_.tick_interval;
-    }
+void UdpNode::pump(sim::Time now) {
+  std::deque<std::function<void(Endpoint&, sim::Time)>> cmds;
+  {
+    std::scoped_lock lock(mutex_);
+    cmds.swap(commands_);
   }
+  for (auto& cmd : cmds) cmd(*endpoint_, now_us());
+  // Protocol housekeeping (suspicion, omega, retention compaction) keeps
+  // its coarse cadence; transport timers are handled in flush() every
+  // iteration at deadline precision.
+  if (now >= next_tick_) {
+    endpoint_->on_tick(now);
+    next_tick_ = now + cfg_.tick_interval;
+  }
+}
+
+void UdpNode::flush(sim::Time now) {
+  // Idle boundary: everything this iteration's inputs caused has been
+  // processed — flush batched payloads, then let the router emit due
+  // retransmissions and deferred acks. Running every iteration (not per
+  // protocol tick) is what makes sub-millisecond adaptive RTOs real:
+  // the loop wakes at the deadline and the expiry fires here.
+  router_->flush_batches(now);
+  router_->tick(now);
+}
+
+sim::Time UdpNode::next_deadline(sim::Time now) const {
+  return std::min(next_tick_, router_->next_deadline(now));
 }
 
 void UdpNode::create_group(GroupId g, std::vector<ProcessId> members,
@@ -249,8 +743,24 @@ SendCounts UdpNode::send_counts() const {
 }
 
 ChannelStats UdpNode::transport_stats() {
-  return marshal<ChannelStats>(
+  ChannelStats s = marshal<ChannelStats>(
       {}, [this](Endpoint&, sim::Time) { return router_->total_stats(); });
+  {
+    // A stopped node returns the default snapshot untouched (the marshal
+    // above already fell back to it).
+    std::scoped_lock lock(mutex_);
+    if (stopping_) return s;
+  }
+  // Overlay the socket-layer counters (transport-wide: shared by every
+  // node on the transport).
+  const TransportIoStats io = transport_->io_stats();
+  s.tx_syscalls = io.tx_syscalls;
+  s.rx_syscalls = io.rx_syscalls;
+  s.tx_datagrams = io.tx_datagrams;
+  s.rx_datagrams = io.rx_datagrams;
+  s.rx_copies = io.rx_copies;
+  s.wakeups = io.wakeups;
+  return s;
 }
 
 std::vector<Delivery> UdpNode::deliveries() const {

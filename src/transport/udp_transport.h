@@ -1,17 +1,36 @@
-// Real-network transport: Newtop over UDP sockets.
+// Real-network transport: Newtop over UDP sockets, with kernel-batched
+// burst I/O.
 //
 // The paper's environment is "processes ... communicating over the
 // Internet" (§2). The Router/fifo_channel stack already turns an
 // unreliable datagram service into the sequenced transport the protocol
-// assumes, so UDP is the natural substrate: this module provides the
-// socket plumbing and an event-loop host (`UdpNode`) that runs a complete
-// Newtop endpoint over it.
+// assumes, so UDP is the natural substrate. This module provides the
+// socket plumbing in two layers:
 //
-// A UdpNode owns one thread: a poll loop that multiplexes socket receive,
-// retransmission/protocol ticks and application commands (marshalled
-// through a mutex-protected queue, keeping the Endpoint single-owner).
+//  - `UdpTransport` owns one socket (or an SO_REUSEPORT group of them)
+//    plus the burst machinery: transmit flushes drain into `sendmmsg`
+//    calls (scatter-gather, partial-send resume on EAGAIN) and the
+//    receive side drains whole bursts via `recvmmsg` directly into
+//    pooled buffers — one syscall moves many datagrams, and a received
+//    datagram is never staged through a scratch copy. Non-Linux builds
+//    and `-DNEWTOP_NO_MMSG` keep a per-packet sendmsg/recvmsg path with
+//    identical wire behaviour.
+//  - `UdpNode` is a complete Newtop endpoint registered on a transport.
+//    Many nodes (and with them, many groups) genuinely multiplex one
+//    socket: every datagram carries a tiny envelope [magic, src id,
+//    dst id] so the transport demuxes by destination process, not port.
+//
+// The transport owns one event-loop thread that drives every attached
+// node: socket receive, command mailboxes, protocol ticks and batched
+// transmit. Wakeups are deadline-driven — the poll timeout is bounded by
+// `Router::next_deadline` (earliest RTO expiry / delayed-ack window)
+// and each node's tick cadence, so sub-millisecond adaptive RTOs fire
+// on time instead of waiting out a fixed sleep. An optional sharded
+// receive mode adds M SO_REUSEPORT rx threads (the kernel hashes flows
+// across them) that feed the loop for parallel drain.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,11 +49,25 @@
 
 namespace newtop::transport {
 
+class UdpNode;
+
+// UDP wire envelope: every datagram between UdpTransports is prefixed
+// with [magic u8][src ProcessId u32le][dst ProcessId u32le]; the channel
+// packet bytes follow unchanged. The envelope is what lets many
+// endpoints share one socket — receive demuxes on the destination id
+// and peer identity comes from the source id, not the source port. It
+// is transmitted as its own iovec (scatter-gather), never by copying
+// the payload. The magic keeps stray datagrams diagnosable; anything
+// without it is dropped and counted, not decoded.
+inline constexpr std::uint8_t kUdpEnvelopeMagic = 0xA7;
+inline constexpr std::size_t kUdpEnvelopeSize = 9;
+
 // Thin RAII wrapper over a bound, non-blocking IPv4 UDP socket.
 class UdpSocket {
  public:
   // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.
-  explicit UdpSocket(std::uint16_t port);
+  // `reuse_port` sets SO_REUSEPORT before binding (sharded receive).
+  explicit UdpSocket(std::uint16_t port, bool reuse_port = false);
   ~UdpSocket();
 
   UdpSocket(const UdpSocket&) = delete;
@@ -43,14 +76,10 @@ class UdpSocket {
   std::uint16_t port() const { return port_; }
   int fd() const { return fd_; }
 
-  // Sends one datagram to 127.0.0.1:dest_port. Best-effort: errors
-  // (e.g. full buffers) are treated as datagram loss.
+  // Raw single-datagram helpers (tests and diagnostics; the transport's
+  // burst paths work on fd() directly). Errors are datagram loss.
   void send_to(std::uint16_t dest_port, const util::Bytes& data);
-
-  // Non-blocking receive. Returns false when the socket is drained.
   bool receive(std::uint16_t& from_port, util::Bytes& data);
-
-  // Blocks until readable or timeout (milliseconds).
   bool wait_readable(int timeout_ms);
 
  private:
@@ -58,41 +87,204 @@ class UdpSocket {
   std::uint16_t port_ = 0;
 };
 
+// Socket-layer counters of one UdpTransport (shared by every node
+// attached to it). All monotonic; read with io_stats() at any time.
+struct TransportIoStats {
+  std::uint64_t tx_syscalls = 0;    // sendmmsg/sendmsg invocations
+  std::uint64_t rx_syscalls = 0;    // recvmmsg/recvmsg invocations
+  std::uint64_t tx_datagrams = 0;   // datagrams accepted by the kernel
+  std::uint64_t rx_datagrams = 0;   // datagrams received
+  std::uint64_t rx_copies = 0;      // datagrams staged through a copy (0)
+  std::uint64_t rx_truncated = 0;   // dropped: larger than rx_buffer_bytes
+  std::uint64_t rx_unroutable = 0;  // dropped: bad envelope / unknown dst
+  std::uint64_t tx_dropped = 0;     // dropped: backlog cap or send error
+  std::uint64_t wakeups = 0;        // event-loop poll returns
+};
+
+struct UdpTransportConfig {
+  // Runtime switch for the kernel burst paths; builds without mmsg
+  // support (non-Linux, -DNEWTOP_NO_MMSG) always use the per-packet
+  // fallback. Both modes speak the same wire format and interoperate.
+  bool use_mmsg = true;
+  // Datagrams moved per sendmmsg/recvmmsg call.
+  std::size_t burst = 32;
+  // >0: sharded receive — this many rx threads, each draining its own
+  // SO_REUSEPORT socket bound to the same port (kernel hashes flows
+  // across them, so per-peer ordering is preserved per shard). 0 (the
+  // default) receives on the event-loop thread.
+  std::size_t rx_shards = 0;
+  // Per-datagram receive capacity. Datagrams larger than this are
+  // dropped (counted rx_truncated) — keep it at the UDP maximum unless
+  // the deployment bounds its payloads. Received datagrams occupy a
+  // buffer of this class until released or compacted (the engine's
+  // retention compaction right-sizes long-lived slices).
+  std::size_t rx_buffer_bytes = 65536;
+  // Pending-transmit cap: datagrams the tx queue may hold across
+  // EAGAIN partial-send resumes before new ones are dropped as loss.
+  std::size_t max_tx_backlog = 1024;
+  // Poll cap when no deadline is pending (commands wake the loop
+  // explicitly, so this only bounds staleness of the idle loop).
+  sim::Duration max_idle_wait = 50 * sim::kMillisecond;
+  // Pool shared by every node on this transport. The per-class byte
+  // budget is floored at 2*burst*rx_buffer_bytes so the in-flight rx
+  // slab working set recycles instead of thrashing the allocator.
+  util::BufferPoolConfig pool;
+};
+
+// One socket (plus burst machinery and event loop), multiplexing any
+// number of UdpNode endpoints. Create it directly to share between
+// nodes, or let UdpNode's port-taking constructor own a private one.
+class UdpTransport {
+ public:
+  explicit UdpTransport(std::uint16_t port, UdpTransportConfig config = {});
+  ~UdpTransport();  // stops and joins
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  std::uint16_t port() const { return socket_.port(); }
+  const util::BufferPoolPtr& pool() const { return pool_; }
+  // True when the burst syscalls are compiled in and enabled.
+  bool mmsg_enabled() const;
+  std::size_t rx_shards() const { return shard_threads_target_; }
+
+  // Registers the UDP port of a peer process. Shared by all attached
+  // nodes; must be called before traffic flows to that peer.
+  void add_route(ProcessId peer, std::uint16_t port);
+
+  TransportIoStats io_stats() const;
+
+  void start();  // idempotent; spawns the loop (and shard) threads
+  void stop();   // joins all threads; idempotent; not restartable
+
+ private:
+  friend class UdpNode;
+
+  struct RxItem {
+    ProcessId src = kNoProcess;
+    ProcessId dst = kNoProcess;
+    util::BytesView payload;
+  };
+
+  struct TxEntry {
+    std::uint32_t dest_port = 0;
+    std::uint8_t hdr[kUdpEnvelopeSize];
+    util::Bytes data;
+  };
+
+  // Per-consumer receive state: pre-acquired full-size pooled slabs the
+  // kernel writes into, plus the mmsg scratch arrays. The loop has one;
+  // each shard thread has its own (no sharing, no locks).
+  struct RxSlots;
+
+  // Node lifecycle (called by UdpNode).
+  void attach(UdpNode* node);
+  void detach(UdpNode* node);
+  // Queues one encoded channel packet for `to` (event-loop thread only;
+  // flushed in bursts at the end of the loop iteration).
+  void queue_send(ProcessId from, ProcessId to, util::Bytes data);
+  // Wakes the event loop (any thread).
+  void wake();
+
+  void loop();
+  void shard_loop(std::size_t shard);
+  // Drains `fd` into `out` until the socket would block.
+  void drain_socket(int fd, RxSlots& slots, std::vector<RxItem>& out);
+  void flush_tx();
+  bool wait_events(sim::Duration timeout_us, bool poll_socket_rx);
+
+  UdpTransportConfig cfg_;
+  UdpSocket socket_;
+  std::vector<std::unique_ptr<UdpSocket>> shard_sockets_;
+  std::size_t shard_threads_target_ = 0;
+  util::BufferPoolPtr pool_;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  std::atomic<bool> wake_pending_{false};
+
+  // Lifecycle + attached-node registry. The loop snapshots the node set
+  // each iteration and dispatches outside the lock (so node callbacks
+  // may re-enter transport APIs); detach waits for the in-flight
+  // iteration, after which the loop can no longer reach the node.
+  mutable std::mutex state_mutex_;
+  std::condition_variable detach_cv_;
+  std::map<ProcessId, UdpNode*> nodes_;
+  bool in_dispatch_ = false;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex routes_mutex_;
+  std::map<ProcessId, std::uint16_t> routes_;
+
+  // Sharded-receive handoff queue (shards push, loop drains).
+  std::mutex rxq_mutex_;
+  std::vector<RxItem> rx_queue_;
+
+  // Event-loop-thread-only transmit state.
+  std::deque<TxEntry> tx_pending_;
+  std::unique_ptr<RxSlots> loop_slots_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> shard_threads_;
+
+  // Io counters (relaxed atomics: single writer per counter family,
+  // read from anywhere).
+  std::atomic<std::uint64_t> tx_syscalls_{0}, rx_syscalls_{0};
+  std::atomic<std::uint64_t> tx_datagrams_{0}, rx_datagrams_{0};
+  std::atomic<std::uint64_t> rx_copies_{0}, rx_truncated_{0};
+  std::atomic<std::uint64_t> rx_unroutable_{0}, tx_dropped_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+};
+
 struct UdpNodeConfig {
   Config endpoint;
   ChannelConfig channel;
+  // Protocol tick cadence (suspicion, omega, compaction). Transport
+  // timers no longer ride it: retransmissions and delayed acks fire at
+  // their own deadlines via the transport's deadline-driven wakeups.
   sim::Duration tick_interval = 5 * sim::kMillisecond;
-  // Per-node buffer pool: recycles rx datagram buffers and tx packet
-  // encodes. enabled = false falls back to plain heap allocation.
+  // Used only when the node creates a private transport (port-taking
+  // constructor): pool config (recycles rx datagram buffers and tx
+  // packet encodes; enabled = false falls back to plain heap
+  // allocation) and the socket/burst knobs. A node attached to a shared
+  // UdpTransport uses that transport's pool and knobs instead.
   util::BufferPoolConfig pool;
-  // Application event sink (core/api.h): called on the node's loop
+  UdpTransportConfig transport;
+  // Application event sink (core/api.h): called on the transport's loop
   // thread after the observation logs recorded the event. Must not block
   // on this node's GroupHandle calls (they marshal back onto the loop).
   EventSink on_event;
 };
 
-// A complete Newtop process on a UDP socket. Exposes the same
+// A complete Newtop process on a UDP transport. Exposes the same
 // GroupHandle/event-sink surface as SimWorld and ThreadedRuntime (the
 // blocking facade comes from MailboxGroupHost, marshalled onto the
-// node's loop thread).
+// transport's loop thread).
 class UdpNode : public MailboxGroupHost {
  public:
-  // Port 0 = ephemeral; read the actual port with port().
+  // Private-transport form: port 0 = ephemeral; read it with port().
   UdpNode(ProcessId id, std::uint16_t port, UdpNodeConfig config);
+  // Shared-transport form: the node registers on `transport` at
+  // start(); many nodes (and their groups) multiplex its one socket.
+  UdpNode(ProcessId id, std::shared_ptr<UdpTransport> transport,
+          UdpNodeConfig config);
   ~UdpNode();
 
   UdpNode(const UdpNode&) = delete;
   UdpNode& operator=(const UdpNode&) = delete;
 
   ProcessId id() const { return id_; }
-  std::uint16_t port() const { return socket_.port(); }
+  std::uint16_t port() const { return transport_->port(); }
+  const std::shared_ptr<UdpTransport>& transport() const {
+    return transport_;
+  }
 
-  // Registers the UDP port of a peer process. Must be called for every
-  // peer before traffic flows to it.
+  // Registers the UDP port of a peer process (forwards to the
+  // transport's route table). Must be called for every peer before
+  // traffic flows to it.
   void add_peer(ProcessId peer, std::uint16_t port);
 
   void start();
-  void stop();  // joins the loop thread; idempotent
+  void stop();  // detaches from the transport; idempotent
 
   // Application commands, marshalled onto the loop thread. The
   // multicast admission verdict is recorded in the node's SendCounts
@@ -117,37 +309,43 @@ class UdpNode : public MailboxGroupHost {
   std::size_t delivery_count(GroupId g) const;
   SendCounts send_counts() const;
 
-  // Aggregated reliable-transport counters, including the adaptive-RTO
-  // gauges (srtt/rttvar/rto_current, worst path across peers).
-  // Marshalled onto the loop thread like the GroupHandle calls — do not
-  // call from the loop thread itself; returns a default snapshot if the
-  // node stopped first.
+  // Aggregated reliable-transport counters — the adaptive-RTO gauges
+  // (srtt/rttvar/rto_current, worst path across peers) plus the
+  // socket-layer io counters (tx/rx syscalls, datagrams, copies,
+  // wakeups; transport-wide when the transport is shared). Marshalled
+  // onto the loop thread like the GroupHandle calls — do not call from
+  // the loop thread itself; returns a default snapshot if the node
+  // stopped first.
   ChannelStats transport_stats();
 
  private:
-  void run();
+  friend class UdpTransport;
+
+  // Event-loop-thread entry points (called by UdpTransport).
+  void on_rx(ProcessId from, util::BytesView payload, sim::Time now);
+  void pump(sim::Time now);            // commands + protocol tick
+  void flush(sim::Time now);           // retransmission scan + batch flush
+  sim::Time next_deadline(sim::Time now) const;
+
+  void init(UdpNodeConfig&& config);
   sim::Time now_us() const;
-  // MailboxGroupHost: the loop thread is the owner.
+  // MailboxGroupHost: the transport loop thread is the owner.
   bool enqueue_host_command(HostCommand fn) override;
   void record_host_send(SendResult r) override;
 
   ProcessId id_;
   UdpNodeConfig cfg_;
-  UdpSocket socket_;
+  std::shared_ptr<UdpTransport> transport_;
+  bool owns_transport_ = false;
   util::BufferPoolPtr pool_;
-  // Loop-thread-only receive staging: sized once to the max datagram so
-  // socket drains never reallocate; the pooled per-datagram buffer is
-  // acquired right-sized after the length is known.
-  util::Bytes recv_scratch_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Endpoint> endpoint_;
+  sim::Time next_tick_ = 0;  // loop-thread-only once attached
 
   mutable std::mutex mutex_;
-  std::map<ProcessId, std::uint16_t> peer_ports_;   // by process
-  std::map<std::uint16_t, ProcessId> port_peers_;   // reverse lookup
   std::deque<std::function<void(Endpoint&, sim::Time)>> commands_;
   bool stopping_ = false;
-  std::thread thread_;
+  bool attached_ = false;
 
   mutable std::mutex log_mutex_;
   std::vector<Delivery> deliveries_;

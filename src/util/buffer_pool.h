@@ -87,23 +87,20 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   // Round-trips: a released buffer's capacity lands back in the class an
   // equal-sized acquire will search.
   Bytes acquire(std::size_t reserve) {
-    if (!cfg_.enabled || reserve > cfg_.max_class) {
-      Bytes b;
-      b.reserve(reserve);
-      return b;
-    }
-    const std::size_t cls = class_up(reserve);
-    std::scoped_lock lock(mutex_);
-    ++stats_.acquires;
-    auto& list = class_list(cls);
-    if (!list.empty()) {
-      ++stats_.acquire_hits;
-      Bytes b = std::move(list.back());
-      list.pop_back();
-      return b;
-    }
-    Bytes b;
-    b.reserve(cls);
+    Bytes b = acquire_raw(reserve);
+    b.clear();
+    return b;
+  }
+
+  // A buffer resized to exactly `size`, for receive paths that hand
+  // data() to the kernel before the datagram length is known. Contents
+  // are indeterminate. Freelisted buffers keep their element count
+  // across the release/acquire round-trip, so a full-size rx slab that
+  // cycles through the pool is resized *down or not at all* — vector
+  // zero-fill happens once at the buffer's birth, not per datagram.
+  Bytes acquire_full(std::size_t size) {
+    Bytes b = acquire_raw(size);
+    b.resize(size);
     return b;
   }
 
@@ -198,6 +195,30 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
     }
   };
 
+  // Freelist pop (or fresh reservation) without normalising the size:
+  // acquire() clears, acquire_full() resizes. Freelisted buffers carry
+  // whatever size they were released at.
+  Bytes acquire_raw(std::size_t reserve) {
+    if (!cfg_.enabled || reserve > cfg_.max_class) {
+      Bytes b;
+      b.reserve(reserve);
+      return b;
+    }
+    const std::size_t cls = class_up(reserve);
+    std::scoped_lock lock(mutex_);
+    ++stats_.acquires;
+    auto& list = class_list(cls);
+    if (!list.empty()) {
+      ++stats_.acquire_hits;
+      Bytes b = std::move(list.back());
+      list.pop_back();
+      return b;
+    }
+    Bytes b;
+    b.reserve(cls);
+    return b;
+  }
+
   void recycle_slot(Bytes* slot) {
     std::scoped_lock lock(mutex_);
     release_locked(std::move(*slot));
@@ -221,7 +242,9 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
       ++stats_.dropped;
       return;
     }
-    b.clear();
+    // The size is deliberately kept: acquire() clears on the way out
+    // (free), while acquire_full() reuses the existing element count so
+    // a recycled full-size rx slab never pays a zero-fill resize.
     ++stats_.releases;
     list.push_back(std::move(b));
   }

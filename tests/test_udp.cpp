@@ -219,6 +219,188 @@ TEST(UdpTransport, GroupHandleFacadeOverLoopback) {
   EXPECT_FALSE(h.view().has_value());
 }
 
+TEST(UdpTransport, SharedTransportMultiGroupIsolation) {
+  // Four complete Newtop endpoints multiplexing ONE socket: the wire
+  // envelope demuxes by destination process id, so two disjoint groups
+  // coexist on a single UdpTransport without cross-delivery.
+  auto transport = std::make_shared<UdpTransport>(0);
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  for (ProcessId id = 0; id < 4; ++id) {
+    nodes.push_back(std::make_unique<UdpNode>(id, transport, fast_cfg()));
+  }
+  for (auto& n : nodes) {
+    for (auto& peer : nodes) {
+      if (peer->id() != n->id()) n->add_peer(peer->id(), transport->port());
+    }
+  }
+  for (auto& n : nodes) n->start();
+  nodes[0]->create_group(1, {0, 1});
+  nodes[1]->create_group(1, {0, 1});
+  nodes[2]->create_group(2, {2, 3});
+  nodes[3]->create_group(2, {2, 3});
+  std::this_thread::sleep_for(100ms);  // bootstrap settle (see above)
+
+  EXPECT_TRUE(send_accepted(nodes[0]->group(1).multicast(bytes_of("g1"))));
+  EXPECT_TRUE(send_accepted(nodes[2]->group(2).multicast(bytes_of("g2"))));
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return nodes[0]->delivery_count(1) >= 1 &&
+               nodes[1]->delivery_count(1) >= 1 &&
+               nodes[2]->delivery_count(2) >= 1 &&
+               nodes[3]->delivery_count(2) >= 1;
+      },
+      10s));
+  // No bleed between the groups sharing the socket.
+  for (auto& n : nodes) {
+    const GroupId other = n->id() < 2 ? 2 : 1;
+    EXPECT_EQ(n->delivery_count(other), 0u) << "node " << n->id();
+  }
+  // Admission verdicts stay per-node: the senders tallied one accepted
+  // send each, their group-mates none.
+  EXPECT_EQ(nodes[0]->send_counts().accepted(), 1u);
+  EXPECT_EQ(nodes[1]->send_counts().accepted(), 0u);
+  EXPECT_EQ(nodes[2]->send_counts().accepted(), 1u);
+  // A non-member multicast on the shared socket is rejected locally.
+  EXPECT_EQ(nodes[3]->group(1).multicast(bytes_of("x")),
+            SendResult::kNotMember);
+  EXPECT_EQ(nodes[3]->send_counts().not_member, 1u);
+  for (auto& n : nodes) n->stop();
+}
+
+TEST(UdpTransport, SyscallCountersMonotonic) {
+  // The socket-layer io counters surface through transport_stats and
+  // only ever grow; the rx path never stages a copy.
+  auto nodes = make_mesh(2);
+  for (auto& node : nodes) node->create_group(1, {0, 1});
+  std::this_thread::sleep_for(100ms);
+  nodes[0]->multicast(1, bytes_of("one"));
+  ASSERT_TRUE(wait_for(
+      [&] { return nodes[1]->delivery_count(1) >= 1; }, 10s));
+  const ChannelStats s1 = nodes[0]->transport_stats();
+  EXPECT_GT(s1.tx_syscalls, 0u);
+  EXPECT_GT(s1.rx_syscalls, 0u);
+  EXPECT_GT(s1.tx_datagrams, 0u);
+  EXPECT_GT(s1.rx_datagrams, 0u);
+  EXPECT_GT(s1.wakeups, 0u);
+  EXPECT_EQ(s1.rx_copies, 0u);
+  for (int i = 0; i < 5; ++i) {
+    nodes[1]->multicast(1, bytes_of("more" + std::to_string(i)));
+  }
+  ASSERT_TRUE(wait_for(
+      [&] { return nodes[0]->delivery_count(1) >= 6; }, 10s));
+  const ChannelStats s2 = nodes[0]->transport_stats();
+  EXPECT_GE(s2.tx_syscalls, s1.tx_syscalls);
+  EXPECT_GE(s2.rx_syscalls, s1.rx_syscalls);
+  EXPECT_GT(s2.tx_datagrams, s1.tx_datagrams);
+  EXPECT_GT(s2.rx_datagrams, s1.rx_datagrams);
+  EXPECT_GE(s2.wakeups, s1.wakeups);
+  EXPECT_EQ(s2.rx_copies, 0u);
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(UdpTransport, ReuseportShardedReceiveSmoke) {
+  // Sharded receive: extra SO_REUSEPORT sockets on the same port, each
+  // drained by its own thread. The kernel hashes flows across them, so
+  // ordered delivery must survive regardless of which socket a peer's
+  // datagrams land on.
+  UdpNodeConfig cfg = fast_cfg();
+  cfg.transport.rx_shards = 2;
+  auto nodes = make_mesh(2, cfg);
+  EXPECT_EQ(nodes[0]->transport()->rx_shards(), 2u);
+  for (auto& node : nodes) node->create_group(1, {0, 1});
+  std::this_thread::sleep_for(100ms);
+  for (int i = 0; i < 8; ++i) {
+    nodes[i % 2]->multicast(1, bytes_of("s" + std::to_string(i)));
+  }
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return nodes[0]->delivery_count(1) >= 8 &&
+               nodes[1]->delivery_count(1) >= 8;
+      },
+      10s));
+  // Total order holds across the sharded path.
+  const auto a = nodes[0]->deliveries();
+  const auto b = nodes[1]->deliveries();
+  ASSERT_GE(a.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[i].payload, b[i].payload) << "pos " << i;
+  }
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(UdpTransport, MmsgFallbackInterop) {
+  // The burst syscalls change how datagrams are moved, not what is on
+  // the wire: a batched node and a per-packet-fallback node must
+  // interoperate transparently.
+  UdpNodeConfig mmsg_cfg = fast_cfg();
+  mmsg_cfg.transport.use_mmsg = true;
+  UdpNodeConfig plain_cfg = fast_cfg();
+  plain_cfg.transport.use_mmsg = false;
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  nodes.push_back(std::make_unique<UdpNode>(0, /*port=*/0, mmsg_cfg));
+  nodes.push_back(std::make_unique<UdpNode>(1, /*port=*/0, plain_cfg));
+  EXPECT_FALSE(nodes[1]->transport()->mmsg_enabled());
+  nodes[0]->add_peer(1, nodes[1]->port());
+  nodes[1]->add_peer(0, nodes[0]->port());
+  for (auto& node : nodes) node->start();
+  for (auto& node : nodes) node->create_group(1, {0, 1});
+  std::this_thread::sleep_for(100ms);
+  for (int i = 0; i < 6; ++i) {
+    nodes[i % 2]->multicast(1, bytes_of("x" + std::to_string(i)));
+  }
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return nodes[0]->delivery_count(1) >= 6 &&
+               nodes[1]->delivery_count(1) >= 6;
+      },
+      10s));
+  const auto a = nodes[0]->deliveries();
+  const auto b = nodes[1]->deliveries();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a[i].payload, b[i].payload) << "pos " << i;
+  }
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(UdpTransport, FastRetransmitViaDeadlineWakeups) {
+  // Retransmissions fire at the channel's RTO deadline, not at the next
+  // protocol tick: with the tick stretched to 500ms and the adaptive
+  // RTO floored at 1ms, a burst of back-to-back retransmissions inside
+  // 1.5s is only possible from the deadline-driven wakeup path (the
+  // tick alone could produce at most 3 in that window).
+  UdpNodeConfig cfg = fast_cfg();
+  cfg.channel.adaptive_rto = true;
+  cfg.channel.rto_min = 1 * sim::kMillisecond;
+  cfg.tick_interval = 500 * sim::kMillisecond;
+  // Keep suspicion out of the picture: a view change excluding the dead
+  // peer resets its channel (and the stats we assert on).
+  cfg.endpoint.omega = 50 * sim::kMillisecond;
+  cfg.endpoint.omega_big = 30 * sim::kSecond;
+  auto nodes = make_mesh(2, cfg);
+  for (auto& node : nodes) node->create_group(1, {0, 1});
+  std::this_thread::sleep_for(100ms);
+  // Establish an RTT estimate (loopback: srtt ~ microseconds, so the
+  // RTO clamps to rto_min).
+  for (int i = 0; i < 5; ++i) {
+    nodes[0]->multicast(1, bytes_of("warm" + std::to_string(i)));
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(wait_for(
+      [&] { return nodes[1]->delivery_count(1) >= 5; }, 10s));
+  ASSERT_GT(nodes[0]->transport_stats().rtt_samples, 0u);
+  // Kill the peer; everything sent to it from now on is loss.
+  nodes[1]->stop();
+  nodes[0]->multicast(1, bytes_of("into-the-void"));
+  // Backoff from a 1ms floor: rexmits at ~1,2,4,8,16,32ms... — six of
+  // them inside ~65ms. A loop waking only on the 500ms tick cannot get
+  // past three by the deadline below.
+  ASSERT_TRUE(wait_for(
+      [&] { return nodes[0]->transport_stats().retransmissions >= 6; },
+      1500ms))
+      << "retransmissions did not fire ahead of the protocol tick";
+  nodes[0]->stop();
+}
+
 TEST(UdpTransport, DynamicFormationOverLoopback) {
   auto nodes = make_mesh(3);
   nodes[0]->initiate_group(5, {0, 1, 2});
