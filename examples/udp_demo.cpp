@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   //   --no-mmsg    per-packet sendmsg/recvmsg instead of burst syscalls
   //   --burst N    datagrams per sendmmsg/recvmmsg call
   //   --shards N   extra SO_REUSEPORT receive threads per node
+  // Dissemination overlay (docs/DISSEMINATION.md):
+  //   --dissemination=mesh|ring|tree   group fan-out strategy
+  //   --arity=N                        tree branching factor
+  GroupOptions gopts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-mmsg") {
@@ -45,9 +49,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards" && i + 1 < argc) {
       cfg.transport.rx_shards =
           static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--dissemination=", 0) == 0) {
+      const std::string v = arg.substr(std::string("--dissemination=").size());
+      if (v == "mesh") {
+        gopts.dissemination = DisseminationStrategy::kFullMesh;
+      } else if (v == "ring") {
+        gopts.dissemination = DisseminationStrategy::kRing;
+      } else if (v == "tree") {
+        gopts.dissemination = DisseminationStrategy::kTree;
+      } else {
+        std::fprintf(stderr, "unknown dissemination strategy: %s\n",
+                     v.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--arity=", 0) == 0) {
+      gopts.relay_arity = static_cast<std::uint32_t>(
+          std::atoi(arg.c_str() + std::string("--arity=").size()));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--no-mmsg] [--burst N] [--shards N]\n",
+                   "usage: %s [--no-mmsg] [--burst N] [--shards N] "
+                   "[--dissemination=mesh|ring|tree] [--arity=N]\n",
                    argv[0]);
       return 2;
     }
@@ -81,8 +102,16 @@ int main(int argc, char** argv) {
   }
   for (auto& node : nodes) node->start();
 
-  std::printf("\nP0 initiates group 1 = {P0, P1, P2} over the wire...\n");
-  nodes[0]->initiate_group(1, {0, 1, 2});
+  const char* strat =
+      gopts.dissemination == DisseminationStrategy::kRing    ? "ring"
+      : gopts.dissemination == DisseminationStrategy::kTree  ? "tree"
+                                                             : "mesh";
+  std::printf("\nP0 initiates group 1 = {P0, P1, P2} over the wire"
+              " (dissemination=%s, arity=%u)...\n",
+              strat, gopts.relay_arity);
+  // The invite carries the dissemination agreement (FormInviteMsg), so
+  // every member computes the same overlay from the agreed view.
+  nodes[0]->initiate_group(1, {0, 1, 2}, gopts);
   std::this_thread::sleep_for(400ms);
 
   // GroupHandles marshal onto each node's loop thread and return the
@@ -144,6 +173,20 @@ int main(int argc, char** argv) {
   std::printf("  loop wakeups: %llu   rx copies: %llu\n",
               static_cast<unsigned long long>(io.wakeups),
               static_cast<unsigned long long>(io.rx_copies));
+  // Relay-overlay telemetry: with mesh everything reads 0; with ring or
+  // tree the frames originated/forwarded show the fan-out moving onto
+  // the overlay (docs/DISSEMINATION.md).
+  const EndpointStats es = nodes[0]->endpoint_stats();
+  std::printf(
+      "relay (P0): originated %llu, forwarded %llu, direct %llu, "
+      "gaps stashed %llu, repairs req/served %llu/%llu, drops %llu\n",
+      static_cast<unsigned long long>(es.relays_originated),
+      static_cast<unsigned long long>(es.relays_forwarded),
+      static_cast<unsigned long long>(es.relay_direct_sends),
+      static_cast<unsigned long long>(es.relay_gap_stashed),
+      static_cast<unsigned long long>(es.relay_repairs_requested),
+      static_cast<unsigned long long>(es.relay_repairs_served),
+      static_cast<unsigned long long>(es.relay_drops));
   nodes[0]->stop();
   nodes[1]->stop();
   return 0;

@@ -56,6 +56,7 @@ void Endpoint::create_group(GroupId g, std::vector<ProcessId> members,
   gs.plane = make_ordering_plane(options.mode, *this);
   gs.view.seq = 0;
   gs.view.members = std::move(members);
+  gs.plan = DisseminationPlan::build(gs.opts, gs.view);
   gs.open = true;
   gs.last_sent = now;
   for (ProcessId p : gs.view.members) {
@@ -154,6 +155,19 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
       BatchFrame::for_each_payload(data, [&](util::BytesView sub) {
         dispatch_message(from, sub, now, /*allow_batch=*/false);
       });
+      break;
+    }
+    case MsgType::kRelay: {
+      if (auto f = RelayFrame::decode(data)) {
+        handle_relay(from, *f, data, now);
+      } else {
+        ++stats_.relay_drops;
+      }
+      break;
+    }
+    case MsgType::kRelayRepair: {
+      if (auto m = RelayRepairMsg::decode(data))
+        handle_relay_repair(from, *m, now);
       break;
     }
     case MsgType::kSuspect: {
@@ -365,8 +379,269 @@ util::SharedBytes Endpoint::share_buffer(util::Bytes b) {
 }
 
 void Endpoint::fan_out(const GroupCtx& g, const util::SharedBytes& raw) {
+  const GroupState& gs = static_cast<const GroupState&>(g);
+  if (gs.plan.relaying() && gs.open && !raw->empty()) {
+    // Only steady-state ordered traffic (multicasts and time-silence
+    // nulls) rides the overlay. Leaves and start-groups stay direct:
+    // their correctness windows overlap view agreement and formation,
+    // exactly when overlays are in flux. Control-plane messages
+    // (suspect/refute/confirm) also fan out through here and stay
+    // direct — routing failure agreement through relays whose liveness
+    // is the question would be circular.
+    const auto t = static_cast<MsgType>((*raw)[0]);
+    if (t == MsgType::kApp || t == MsgType::kNull) {
+      relay_fan_out(gs, raw);
+      return;
+    }
+  }
   for (ProcessId p : g.view.members) {
     if (p != self_) hooks_.send(p, raw);
+  }
+}
+
+void Endpoint::relay_fan_out(const GroupState& gs,
+                             const util::SharedBytes& raw) {
+  const auto hops = gs.plan.next_hops(
+      self_, self_, [&](ProcessId p) { return relay_skip(gs, p); });
+  // Wrap the one shared encoding once; every relay hop forwards this
+  // exact byte string (encode-once: relays re-send the received slice,
+  // they never re-encode). Routed-around hops get the same wrapped frame
+  // directly — every copy in a relaying group carries the seq, so
+  // receivers gate all arrivals of this stream uniformly.
+  RelayFrame f;
+  f.group = gs.id;
+  f.origin = self_;
+  f.payload = util::BytesView(raw);
+  if (static_cast<MsgType>((*raw)[0]) == MsgType::kApp) {
+    // Stamp the dense relay sequence (GroupCtx::relay_seq_next) and
+    // remember counter -> seq so repairs can re-wrap retained encodings
+    // at the original number. fan_out is const in the plane interface,
+    // but origin-side stamping must advance group state.
+    auto& mut = const_cast<GroupState&>(gs);
+    f.seq = ++mut.relay_seq_next;
+    if (const auto inner = OrderedMsg::decode(f.payload))
+      mut.relay_seq_of[inner->counter] = f.seq;
+  } else {
+    // Nulls don't consume a seq; they carry the current frontier. That
+    // makes tail loss visible: if every content frame after some point
+    // died with a crashed relay, no jumped frame ever arrives to expose
+    // the gap — but the ω-periodic nulls keep announcing how far the
+    // content stream actually extends.
+    f.seq = gs.relay_seq_next;
+  }
+  const util::SharedBytes enc =
+      share_buffer(f.encode(obtain_buffer(raw->size() + 24)));
+  for (ProcessId p : hops.relay) hooks_.send(p, enc);
+  for (ProcessId p : hops.direct) hooks_.send(p, enc);
+  ++stats_.relays_originated;
+  stats_.relay_direct_sends += hops.direct.size();
+}
+
+void Endpoint::relay_resend(ProcessId to, const util::BytesView& slice) {
+  if (hooks_.send_relay) {
+    hooks_.send_relay(to, slice);
+    return;
+  }
+  util::Bytes copy = obtain_buffer(slice.size());
+  copy.assign(slice.data(), slice.data() + slice.size());
+  hooks_.send(to, share_buffer(std::move(copy)));
+}
+
+bool Endpoint::relay_skip(const GroupState& gs, ProcessId p) const {
+  return gs.left.count(p) > 0 || has_suspicion_on(gs, p) ||
+         in_pending_wave(gs, p);
+}
+
+void Endpoint::handle_relay(ProcessId from, const RelayFrame& f,
+                            const util::BytesView& frame_raw, Time now) {
+  GroupState* gs = find_group(f.group);
+  if (gs == nullptr) {
+    ++stats_.relay_drops;
+    return;
+  }
+  const auto inner = OrderedMsg::decode(f.payload);
+  // The origin of a relay frame is the process whose fan-out produced it
+  // — always the wrapped message's emitter. A mismatch is a forged or
+  // corrupted attribution; drop rather than credit liveness wrongly.
+  if (!inner || inner->group != f.group || inner->emitter != f.origin) {
+    ++stats_.relay_drops;
+    return;
+  }
+  if (f.origin == self_) return;  // full circle: already processed at emit
+  (void)from;
+  // Forward before local processing (pipelining: downstream hops overlap
+  // our ordering work). Dedup per origin — only stream-advancing frames
+  // propagate, so duplicates and overlay repairs cannot amplify.
+  if (gs->plan.relaying() && gs->view.contains(f.origin)) {
+    Counter& fwd = gs->relay_forwarded[f.origin];
+    if (inner->counter > fwd) {
+      fwd = inner->counter;
+      const auto hops = gs->plan.next_hops(
+          self_, f.origin, [&](ProcessId p) { return relay_skip(*gs, p); });
+      for (ProcessId p : hops.relay) relay_resend(p, frame_raw);
+      for (ProcessId p : hops.direct) relay_resend(p, frame_raw);
+      if (!hops.relay.empty() || !hops.direct.empty())
+        ++stats_.relays_forwarded;
+      stats_.relay_direct_sends += hops.direct.size();
+    }
+  }
+  // Local processing, attributed to the origin (an overlay arrival is
+  // the same liveness evidence as a direct one — without this, Ω would
+  // fire on every origin more than one hop away), gated by the dense
+  // relay sequence. The ordered counters are Lamport values and jump
+  // legitimately; the seq is contiguous by construction, so a jump here
+  // is proof a relay crashed between receive and forward and the missing
+  // messages are gone end-to-end. Letting the receive vector skip them
+  // would stabilise — and release from retention — messages this process
+  // never saw.
+  Counter& seen = gs->relay_seen[f.origin];
+  if (inner->type == MsgType::kNull) {
+    // Frontier-carrying null (seq = the origin's last stamped content
+    // seq; nulls are never retained or repaired themselves). At or
+    // below our front it is ordinary liveness traffic. Above it, it
+    // announces content we never saw — and its own counter out-runs the
+    // missing messages, so processing it would let the receive vector
+    // skip them: drop it (the arrival itself was the liveness evidence)
+    // and fetch the range. Exception: if the receive vector already
+    // covers every counter the hole could hide (refute recovery or a
+    // view-install floor got there first), the hole is empty — jump.
+    if (f.seq > seen && inner->counter > gs->plane->rv(f.origin) + 1) {
+      gs->last_activity[f.origin] = now;
+      Counter& asked = gs->relay_repair_asked[f.origin];
+      if (asked != seen + 1) {  // one request per distinct gap front
+        asked = seen + 1;
+        RelayRepairMsg r;
+        r.group = gs->id;
+        r.emitter = f.origin;
+        r.have = gs->plane->rv(f.origin);
+        hooks_.send(f.origin, share_buffer(r.encode(obtain_buffer(24))));
+        ++stats_.relay_repairs_requested;
+      }
+      return;
+    }
+    if (f.seq > seen) seen = f.seq;
+    process_ordered(f.origin, *inner, now, /*via_recovery=*/false);
+    relay_drain_stash(f.group, f.origin, now);
+    return;
+  }
+  if (f.seq <= seen) return;  // duplicate (overlay re-route or repair echo)
+  if (f.seq == seen + 1) {
+    seen = f.seq;
+    process_ordered(f.origin, *inner, now, /*via_recovery=*/false);
+    relay_drain_stash(f.group, f.origin, now);
+    return;
+  }
+  // Gap: stash by seq and ask the origin to re-send its retained stream
+  // above our receive vector, re-wrapped at the original seqs. Our rv
+  // stays below the missing messages, which keeps them unstable (§5.1) —
+  // and therefore retained — at the origin, so the repair can always be
+  // served. Stash is bounded; overflow drops are safe (repair re-sends).
+  constexpr std::size_t kMaxStashPerOrigin = 4096;
+  gs->last_activity[f.origin] = now;
+  if (f.seq > seen + kMaxStashPerOrigin) {
+    // Further ahead than the stash window could ever hold (a lagging
+    // receiver under an unbounded flow window, or a corrupt seq). Drop
+    // the frame — repair re-sends cover it — but still ask for the
+    // front; in-order fills are the only way to catch up from here.
+    ++stats_.relay_drops;
+    Counter& asked = gs->relay_repair_asked[f.origin];
+    if (asked != seen + 1) {
+      asked = seen + 1;
+      RelayRepairMsg r;
+      r.group = gs->id;
+      r.emitter = f.origin;
+      r.have = gs->plane->rv(f.origin);
+      hooks_.send(f.origin, share_buffer(r.encode(obtain_buffer(24))));
+      ++stats_.relay_repairs_requested;
+    }
+    return;
+  }
+  auto& stash = gs->relay_stash[f.origin];
+  if (stash.size() < kMaxStashPerOrigin &&
+      stash.emplace(f.seq, *inner).second) {
+    ++stats_.relay_gap_stashed;
+  }
+  // The drain resolves the stash front: jump over holes whose content
+  // provably reached us another way, or issue the damped repair request.
+  relay_drain_stash(f.group, f.origin, now);
+}
+
+void Endpoint::handle_relay_repair(ProcessId from, const RelayRepairMsg& msg,
+                                   Time now) {
+  GroupState* gs = find_group(msg.group);
+  if (gs == nullptr || !gs->view.contains(from)) return;
+  gs->last_activity[from] = now;
+  // Only the emitter itself serves repairs: relay_seq_of maps our own
+  // counters to the seqs we stamped, and only those re-wraps are
+  // guaranteed to match what the requester's gate is waiting for.
+  if (msg.emitter != self_) return;
+  const auto it = gs->retained.find(self_);
+  if (it == gs->retained.end()) return;
+  // Direct re-sends off the overlay (the requester's route through the
+  // overlay just lost these), re-wrapped at the original seq so the
+  // fills close the gap exactly. Bounded burst: a partial fill advances
+  // the requester's front, which re-arms its damping and fetches more.
+  constexpr std::size_t kMaxRepairBurst = 256;
+  std::size_t sent = 0;
+  for (auto mit = it->second.upper_bound(msg.have);
+       mit != it->second.end() && sent < kMaxRepairBurst; ++mit) {
+    const auto qit = gs->relay_seq_of.find(mit->first);
+    if (qit == gs->relay_seq_of.end()) continue;  // direct-only (Leave)
+    RelayFrame f;
+    f.group = gs->id;
+    f.origin = self_;
+    f.seq = qit->second;
+    f.payload = mit->second;
+    hooks_.send(from,
+                share_buffer(f.encode(obtain_buffer(f.payload.size() + 24))));
+    ++sent;
+  }
+  if (sent > 0) ++stats_.relay_repairs_served;
+}
+
+void Endpoint::relay_drain_stash(GroupId g, ProcessId origin, Time now) {
+  GroupState* gs = find_group(g);
+  while (gs != nullptr) {
+    const auto sit = gs->relay_stash.find(origin);
+    if (sit == gs->relay_stash.end() || sit->second.empty()) return;
+    Counter& seen = gs->relay_seen[origin];
+    const auto mit = sit->second.begin();
+    if (mit->first <= seen) {  // stale: landed in-order meanwhile
+      sit->second.erase(mit);
+      continue;
+    }
+    if (mit->first > seen + 1) {
+      // Seqs are stamped in emission order, so every seq behind the hole
+      // carries a smaller counter than the front entry. If the receive
+      // vector already covers those counters, they reached us by a path
+      // with its own completeness guarantee (refute recovery's
+      // claimed_last, or a view-install floor) — the hole hides nothing
+      // and the front is safe to jump to.
+      if (mit->second.counter <= gs->plane->rv(origin) + 1) {
+        seen = mit->first - 1;
+        continue;
+      }
+      // Genuinely gapped: ask the origin to re-send its retained stream
+      // above our receive vector, re-wrapped at the original seqs. One
+      // request per distinct front (re-armed as fills advance it, which
+      // also covers capped repair bursts that fill only part way).
+      Counter& asked = gs->relay_repair_asked[origin];
+      if (asked != seen + 1) {
+        asked = seen + 1;
+        RelayRepairMsg r;
+        r.group = gs->id;
+        r.emitter = origin;
+        r.have = gs->plane->rv(origin);
+        hooks_.send(origin, share_buffer(r.encode(obtain_buffer(24))));
+        ++stats_.relay_repairs_requested;
+      }
+      return;
+    }
+    seen = mit->first;
+    const OrderedMsg m = std::move(mit->second);
+    sit->second.erase(mit);
+    process_ordered(origin, m, now, /*via_recovery=*/false);
+    gs = find_group(g);  // processing may have re-entered membership
   }
 }
 
@@ -816,6 +1091,10 @@ void Endpoint::advance_stability(GroupState& gs) {
   for (auto& [emitter, msgs] : gs.retained) {
     msgs.erase(msgs.begin(), msgs.upper_bound(floor));
   }
+  // The counter -> relay-seq map only needs to cover what repair can
+  // still serve, i.e. the retained window of our own stream.
+  gs.relay_seq_of.erase(gs.relay_seq_of.begin(),
+                        gs.relay_seq_of.upper_bound(floor));
 }
 
 }  // namespace newtop

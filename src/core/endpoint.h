@@ -55,6 +55,13 @@ using sim::Time;
 // one of `on_event` / `deliver` must be set.
 struct EndpointHooks {
   std::function<void(ProcessId to, util::SharedBytes data)> send;
+  // Optional relay re-send path (ring/tree dissemination,
+  // core/dissemination.h): transmit a received slice verbatim to `to`.
+  // The view keeps the arrival datagram's allocation alive, so a host
+  // wiring this straight into its transport forwards without a copy.
+  // When unset, the engine detaches the slice into a fresh shared buffer
+  // and falls back to `send`.
+  std::function<void(ProcessId to, util::BytesView data)> send_relay;
   // The unified event sink: deliveries, view changes, formation
   // outcomes, send-window reopenings and retention-pressure signals.
   EventSink on_event;
@@ -279,6 +286,29 @@ class Endpoint : private PlaneHost {
                        bool via_recovery);
   void pump_deliveries();
   void pump_sends(Time now);
+
+  // ---- Dissemination overlay (core/dissemination.h) -------------------
+  // Origin-side fan-out through the group's relay plan (called by
+  // fan_out when the plan is not full-mesh).
+  void relay_fan_out(const GroupState& gs, const util::SharedBytes& raw);
+  // A received RelayFrame: forward the received slice along the overlay,
+  // then dispatch the inner message attributed to the origin.
+  void handle_relay(ProcessId from, const RelayFrame& f,
+                    const util::BytesView& frame_raw, Time now);
+  // Re-sends a received slice (send_relay hook; copy fallback).
+  void relay_resend(ProcessId to, const util::BytesView& slice);
+  // True for hops the overlay must route around (suspected, in a pending
+  // exclusion wave, or announced Leave).
+  bool relay_skip(const GroupState& gs, ProcessId p) const;
+  // Serves a RelayRepairMsg for our own stream: re-wraps retained raw
+  // encodings above `have` in RelayFrames at their original sequence
+  // numbers (relay_seq_of) and sends them directly to the requester.
+  void handle_relay_repair(ProcessId from, const RelayRepairMsg& msg,
+                           Time now);
+  // Drops stale stash entries for `origin` and dispatches the ones the
+  // advancing seq front has made consecutive (after in-order arrivals
+  // and repair fills).
+  void relay_drain_stash(GroupId g, ProcessId origin, Time now);
   bool send_eligible(const GroupState& gs) const;
   void deliver_app(const GroupState& gs, const OrderedMsg& msg);
   void advance_stability(GroupState& gs);

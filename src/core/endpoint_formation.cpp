@@ -156,6 +156,7 @@ void Endpoint::maybe_activate_formation(GroupState& gs, Time now) {
   f.activated = true;
   gs.view.seq = 0;
   gs.view.members = f.invite.members;
+  gs.plan = DisseminationPlan::build(gs.opts, gs.view);
   gs.last_sent = now;
   for (ProcessId p : gs.view.members) {
     if (p != self_) gs.last_activity[p] = now;

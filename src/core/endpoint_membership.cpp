@@ -402,6 +402,16 @@ void Endpoint::install_view(GroupState& gs, Time now) {
   gs.view.seq += 1;
   gs.excluded_count += static_cast<std::uint32_t>(failed.size());
   ++stats_.views_installed;
+  // The agreed view is the overlay's ground truth: every survivor
+  // recomputes the identical repaired plan from it, ending the
+  // suspicion-driven direct-send fallback.
+  gs.plan = DisseminationPlan::build(gs.opts, gs.view);
+  for (ProcessId p : failed) {
+    gs.relay_forwarded.erase(p);
+    gs.relay_seen.erase(p);
+    gs.relay_stash.erase(p);
+    gs.relay_repair_asked.erase(p);
+  }
 
   for (ProcessId p : failed) {
     // "RV[k] := ∞; SV[k] := ∞" — drop the entries from the minima.

@@ -25,6 +25,7 @@
 #include <memory>
 #include <set>
 
+#include "core/dissemination.h"
 #include "core/types.h"
 #include "core/wire.h"
 #include "sim/time.h"
@@ -63,6 +64,20 @@ struct EndpointStats {
   std::uint64_t send_window_events = 0;
   std::uint64_t retention_pressure_events = 0;
   std::uint64_t arrival_detach_copies = 0;
+  // Dissemination overlay (core/dissemination.h): multicasts fanned out
+  // through a ring/tree plan, frames forwarded on other origins' behalf,
+  // direct fallback sends to suspected hops routed around, and relay
+  // frames dropped (undecodable, unknown group, forged attribution).
+  std::uint64_t relays_originated = 0;
+  std::uint64_t relays_forwarded = 0;
+  std::uint64_t relay_direct_sends = 0;
+  std::uint64_t relay_drops = 0;
+  // Relay gap repair: stream jumps observed behind a failed relay
+  // (messages stashed until the gap fills), repair requests sent to the
+  // emitter, and repair requests served from retention.
+  std::uint64_t relay_gap_stashed = 0;
+  std::uint64_t relay_repairs_requested = 0;
+  std::uint64_t relay_repairs_served = 0;
 };
 
 // The per-group state shared between the endpoint and its ordering plane:
@@ -95,6 +110,37 @@ struct GroupCtx {
   Time last_sent = 0;                       // ordered-plane, for ω
   std::map<ProcessId, Time> last_activity;  // any traffic, for Ω
   std::set<ProcessId> left;                 // announced voluntary Leave
+
+  // Dissemination overlay (core/dissemination.h): recomputed
+  // deterministically from the agreed view at creation and every view
+  // installation, so all members route one multicast the same way.
+  DisseminationPlan plan;
+  // Relay forward dedup: per origin, the highest inner counter already
+  // forwarded on its behalf. Overlay repairs and retransmissions can
+  // duplicate frames; forwarding only stream-advancing ones bounds the
+  // amplification at one forward per message per hop.
+  std::map<ProcessId, Counter> relay_forwarded;
+  // Relay gap detection. The ordered counters are Lamport clock values —
+  // they jump legitimately — so they cannot tell loss from a clock
+  // advance. Each content message we fan out in a relaying group is
+  // instead stamped with a dense per-origin sequence (RelayFrame::seq),
+  // contiguous by construction; any jump a receiver observes is proof
+  // that a relay crashed mid-forward and the message is gone end-to-end.
+  Counter relay_seq_next = 0;              // our own stamp, pre-increment
+  std::map<Counter, Counter> relay_seq_of;  // our counter -> seq, for
+                                            // re-wrapping repairs at the
+                                            // original seq; trimmed with
+                                            // retention at stability
+  // Per-origin gate: highest seq processed. Frames above the front are
+  // stashed by seq until the origin re-sends the missing range from
+  // retention (wire.h RelayRepairMsg); withholding them keeps our
+  // receive vector below the gap, which keeps the range unstable — and
+  // therefore retained — at the origin (§5.1).
+  std::map<ProcessId, Counter> relay_seen;
+  std::map<ProcessId, std::map<Counter, OrderedMsg>> relay_stash;
+  // Damping: the seq front (`seen` + 1) of the last repair request per
+  // origin — one request per distinct front, re-armed as fills land.
+  std::map<ProcessId, Counter> relay_repair_asked;
 };
 
 // "a deterministic algorithm (so processes that have the same view are

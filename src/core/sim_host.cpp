@@ -51,6 +51,13 @@ SimProcess::SimProcess(sim::Simulator& simulator, sim::Network& network,
     router_->send_buffered(to, std::move(data), sim_.now());
     schedule_flush();
   };
+  hooks.send_relay = [this](ProcessId to, util::BytesView data) {
+    if (crashed_) return;
+    // Zero-copy relay forward: the received slice goes straight into the
+    // channel, keeping its arrival datagram's allocation alive.
+    router_->send_relayed(to, std::move(data), sim_.now());
+    schedule_flush();
+  };
   hooks.on_event = [this](const Event& ev) { on_event(ev); };
   hooks.buffer_pool = std::move(pool);
   endpoint_ = std::make_unique<Endpoint>(id_, config.endpoint,

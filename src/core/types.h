@@ -51,6 +51,20 @@ enum class DeliveryMode : std::uint8_t {
   kPooledCopy = 2,     // right-sized copies drawn from the host BufferPool
 };
 
+// Dissemination overlay for a group's ordered-plane multicasts
+// (core/dissemination.h). The paper's §4 protocol has every member
+// datagram every other member per multicast — O(n²) wire cost as the
+// group grows. Ring and tree overlays relay instead: a sender transmits
+// to O(1)/O(arity) next hops, which forward the received encoding along
+// the overlay. Ordering is untouched (only *who transmits to whom*
+// changes); the strategy is part of the group-wide agreement and is
+// carried in formation invites.
+enum class DisseminationStrategy : std::uint8_t {
+  kFullMesh = 0,  // §4's direct per-member sends (the default)
+  kRing = 1,      // cyclic successor forwarding, O(1) sends per hop
+  kTree = 2,      // origin-rooted k-ary tree, O(arity) sends per hop
+};
+
 struct GroupOptions {
   OrderMode mode = OrderMode::kSymmetric;
   Guarantee guarantee = Guarantee::kTotalOrder;
@@ -66,6 +80,14 @@ struct GroupOptions {
   // protocol (§5) requires every process to run time-silence in every
   // group, which is the default.
   bool failure_free = false;
+  // Dissemination overlay for ordered-plane multicasts (part of the
+  // group-wide agreement, carried in formation invites). Control-plane
+  // messages (suspect/refute/confirm, formation) always go direct —
+  // relying on the overlay while deciding which relays are dead would
+  // be circular.
+  DisseminationStrategy dissemination = DisseminationStrategy::kFullMesh;
+  // Fan-out degree of each kTree relay (ignored by the other strategies).
+  std::uint32_t relay_arity = 4;
 };
 
 // A membership view: the sorted list of members plus the installation

@@ -144,6 +144,8 @@ util::Bytes FormInviteMsg::encode() const {
   w.u8(static_cast<std::uint8_t>(options.mode));
   w.u8(static_cast<std::uint8_t>(options.guarantee));
   w.u8(options.failure_free ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(options.dissemination));
+  w.varint(options.relay_arity);
   w.varint(members.size());
   for (ProcessId p : members) w.varint(p);
   return std::move(w).take();
@@ -159,6 +161,11 @@ std::optional<FormInviteMsg> FormInviteMsg::decode(util::BytesView data) {
   m.options.mode = static_cast<OrderMode>(r.u8());
   m.options.guarantee = static_cast<Guarantee>(r.u8());
   m.options.failure_free = r.u8() != 0;
+  const std::uint8_t strategy = r.u8();
+  if (strategy > static_cast<std::uint8_t>(DisseminationStrategy::kTree))
+    return std::nullopt;
+  m.options.dissemination = static_cast<DisseminationStrategy>(strategy);
+  m.options.relay_arity = static_cast<std::uint32_t>(r.varint());
   const std::uint64_t n = r.varint();
   if (n > 1u << 20) return std::nullopt;
   m.members.reserve(n);
@@ -188,6 +195,56 @@ std::optional<FormReplyMsg> FormReplyMsg::decode(util::BytesView data) {
   return m;
 }
 
+util::Bytes RelayFrame::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.reserve(payload.size() + 16);
+  write_header(w, MsgType::kRelay, group);
+  w.varint(origin);
+  w.varint(seq);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<RelayFrame> RelayFrame::decode(util::BytesView data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kRelay) return std::nullopt;
+  RelayFrame m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.origin = static_cast<ProcessId>(r.varint());
+  m.seq = r.varint();
+  m.payload = r.bytes_view();
+  if (!r.at_end()) return std::nullopt;
+  // The inner payload must be a bare ordered-plane message. A nested
+  // batch or relay would allow unbounded amplification along the
+  // overlay; reject the whole frame rather than dispatch it.
+  if (m.payload.empty()) return std::nullopt;
+  const auto inner = static_cast<MsgType>(m.payload[0]);
+  if (inner == MsgType::kBatch || inner == MsgType::kRelay)
+    return std::nullopt;
+  return m;
+}
+
+util::Bytes RelayRepairMsg::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.reserve(24);
+  write_header(w, MsgType::kRelayRepair, group);
+  w.varint(emitter);
+  w.varint(have);
+  return std::move(w).take();
+}
+
+std::optional<RelayRepairMsg> RelayRepairMsg::decode(util::BytesView data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kRelayRepair)
+    return std::nullopt;
+  RelayRepairMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.emitter = static_cast<ProcessId>(r.varint());
+  m.have = r.varint();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
 util::Bytes BatchFrame::encode() const {
   util::Writer w(16);
   w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
@@ -203,6 +260,13 @@ std::size_t BatchFrame::encoded_size_bound(
   return total;
 }
 
+std::size_t BatchFrame::encoded_size_bound(
+    const std::vector<util::BytesView>& payloads) {
+  std::size_t total = 16;
+  for (const auto& p : payloads) total += p.size() + 4;
+  return total;
+}
+
 util::Bytes BatchFrame::encode_shared(
     const std::vector<util::SharedBytes>& payloads) {
   return encode_shared(payloads, util::Bytes());
@@ -215,6 +279,16 @@ util::Bytes BatchFrame::encode_shared(
   w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
   w.varint(payloads.size());
   for (const auto& p : payloads) w.bytes(*p);
+  return std::move(w).take();
+}
+
+util::Bytes BatchFrame::encode_shared(
+    const std::vector<util::BytesView>& payloads, util::Bytes reuse) {
+  util::Writer w(std::move(reuse));
+  w.reserve(encoded_size_bound(payloads));
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(payloads.size());
+  for (const auto& p : payloads) w.bytes(p);
   return std::move(w).take();
 }
 
@@ -342,6 +416,8 @@ std::optional<MsgType> peek_type(std::span<const std::uint8_t> data) {
     case MsgType::kFwd:
     case MsgType::kStartGroup:
     case MsgType::kBatch:
+    case MsgType::kRelay:
+    case MsgType::kRelayRepair:
     case MsgType::kSuspect:
     case MsgType::kRefute:
     case MsgType::kConfirm:

@@ -31,8 +31,10 @@ enum class MsgType : std::uint8_t {
   kLeave = 3,      // voluntary departure announcement (§5)
   kFwd = 4,        // asymmetric mode: origin -> sequencer unicast (§4.2)
   kStartGroup = 5, // group formation step 4/5 (§5.3)
-  // Transport container.
+  // Transport containers.
   kBatch = 6,      // several protocol payloads coalesced into one datagram
+  kRelay = 7,      // overlay-relayed ordered message (ring/tree fan-out)
+  kRelayRepair = 8,  // relay gap-repair request (receiver -> emitter)
   // Control plane.
   kSuspect = 16,
   kRefute = 17,
@@ -147,6 +149,55 @@ struct FormReplyMsg {
   static std::optional<FormReplyMsg> decode(util::BytesView data);
 };
 
+// A relay container (ring/tree dissemination, core/dissemination.h):
+// wraps exactly one encoded ordered-plane message with the identity of
+// its *origin* (the process whose fan-out produced it). Receivers on the
+// overlay re-send the received encoding verbatim to their own next hops
+// (encode-once: the forwarded bytes are a slice of the arrival datagram,
+// never a re-encode) and dispatch the inner message attributed to the
+// origin, not the relaying link. The inner payload must itself be an
+// ordered-plane message — nesting a BatchFrame or another RelayFrame is
+// rejected on decode (amplification), though a RelayFrame may ride
+// *inside* a BatchFrame like any other protocol payload.
+struct RelayFrame {
+  GroupId group = 0;
+  ProcessId origin = 0;
+  // Dense per-origin content sequence, stamped at fan-out. The ordered
+  // counters are Lamport values (they jump), so they cannot detect
+  // end-to-end loss at a crashed relay; this sequence is contiguous by
+  // construction, making any jump at a receiver a proof of loss.
+  // Content frames carry their own (fresh) number; nulls carry the
+  // origin's current frontier, which exposes tail loss — a burst whose
+  // every successor frame died with the relay — within one ω period.
+  // Nulls themselves are never retained or repaired.
+  Counter seq = 0;
+  util::BytesView payload;  // one encoded OrderedMsg; on decode, a slice
+                            // of the arrival buffer (forwarded as-is)
+
+  // `reuse` provides recycled storage for the encoding (buffer pooling).
+  util::Bytes encode(util::Bytes reuse = {}) const;
+  static std::optional<RelayFrame> decode(util::BytesView data);
+};
+
+// Relay gap-repair request. The per-link FIFO channels guarantee no
+// loss between neighbours, but a relay that crashes after receiving and
+// before forwarding loses messages *end-to-end* — downstream members see
+// the origin's RelayFrame::seq jump. The receiver stashes the jumped
+// frame and asks the emitter directly (off the overlay) to re-send its
+// retained content above counter `have`, re-wrapped at the original
+// sequence numbers so the fills close the seq gap exactly. Retention
+// holds everything needed: the requester withholds post-gap processing,
+// so its receive vector stays below the missing messages and keeps them
+// unstable (§5.1) — and therefore retained — at the emitter.
+struct RelayRepairMsg {
+  GroupId group = 0;
+  ProcessId emitter = 0;  // whose stream has the gap
+  Counter have = 0;       // highest ordered counter received (its rv)
+
+  util::Bytes encode(util::Bytes reuse = {}) const;
+  static std::optional<RelayRepairMsg> decode(util::BytesView data);
+};
+
 // A transport container: several encoded protocol messages coalesced into
 // one frame, so one datagram (and one reliable-channel slot) can carry
 // many ordered messages per peer per flush. Batching at the transport
@@ -166,13 +217,19 @@ struct BatchFrame {
   // their acquire() with it.
   static std::size_t encoded_size_bound(
       const std::vector<util::SharedBytes>& payloads);
+  static std::size_t encoded_size_bound(
+      const std::vector<util::BytesView>& payloads);
   // Encode-once fan-out path: frames shared payload buffers directly,
-  // without copying them into a BatchFrame first. The second form writes
+  // without copying them into a BatchFrame first. The `reuse` forms write
   // into recycled storage (buffer pooling) instead of a fresh allocation.
+  // The BytesView forms serve the relay path: a forwarded slice of an
+  // arrival datagram batches without ever detaching into its own buffer.
   static util::Bytes encode_shared(
       const std::vector<util::SharedBytes>& payloads);
   static util::Bytes encode_shared(
       const std::vector<util::SharedBytes>& payloads, util::Bytes reuse);
+  static util::Bytes encode_shared(
+      const std::vector<util::BytesView>& payloads, util::Bytes reuse);
   static std::optional<BatchFrame> decode(util::BytesView data);
 
   // Allocation-free unwrap for the receive hot path: validates the whole

@@ -33,6 +33,11 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
       // Buffered: flushed (batched per destination) once the owner thread
       // finishes its current mailbox quantum. Only the owner runs the
       // endpoint, so outbox_ needs no lock.
+      outbox_[to].push_back(util::BytesView(std::move(data)));
+    };
+    hooks.send_relay = [this](ProcessId to, util::BytesView data) {
+      // Relay forward: the received slice rides the outbox as-is (the
+      // view keeps the arrival buffer alive across the thread hop).
       outbox_[to].push_back(std::move(data));
     };
     hooks.on_event = [this](const Event& ev) {
@@ -87,7 +92,7 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     // `dropped` destroyed here, outside the lock (see stop()).
   }
 
-  void enqueue_message(ProcessId from, util::SharedBytes data) {
+  void enqueue_message(ProcessId from, util::BytesView data) {
     {
       std::scoped_lock lock(mutex_);
       if (stopping_) return;
@@ -140,7 +145,7 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
   struct Item {
     enum Kind { kMessage, kCommand } kind;
     ProcessId from;
-    util::SharedBytes data;
+    util::BytesView data;  // view keeps its backing buffer alive
     std::function<void(Endpoint&, sim::Time)> fn;
   };
 
@@ -170,8 +175,7 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
         if (item.kind == Item::kMessage) {
           // Zero-copy hand-off: the endpoint receives a view of the
           // mailbox item's shared buffer, not a copy of it.
-          endpoint_->on_message(item.from,
-                                util::BytesView(std::move(item.data)), now);
+          endpoint_->on_message(item.from, std::move(item.data), now);
         } else {
           item.fn(*endpoint_, now);
         }
@@ -198,7 +202,7 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
         if (n == 1) {
           rt_.worker(to).enqueue_message(id_, std::move(msgs[i]));
         } else {
-          const std::vector<util::SharedBytes> chunk(
+          const std::vector<util::BytesView> chunk(
               msgs.begin() + static_cast<std::ptrdiff_t>(i),
               msgs.begin() + static_cast<std::ptrdiff_t>(i + n));
           // Pooled frame: the receiving worker's last slice release
@@ -221,7 +225,9 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
   std::unique_ptr<Endpoint> endpoint_;
   std::thread thread_;
   // Owner-thread-only: per-destination sends buffered within a quantum.
-  std::map<ProcessId, std::vector<util::SharedBytes>> outbox_;
+  // Views: originated sends view their whole encoding, relay forwards
+  // view slices of their arrival buffer (either way zero-copy).
+  std::map<ProcessId, std::vector<util::BytesView>> outbox_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -96,6 +96,14 @@ struct NetworkStats {
   std::uint64_t bytes_delivered = 0;
 };
 
+// Per-sender view of the same counters, for workloads where fan-out cost
+// is attributed to individual nodes (e.g. the dissemination bench compares
+// datagrams each sender puts on the wire under mesh vs relay overlays).
+struct NodeTxStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
 class Network {
  public:
   // A delivered datagram is handed over as the one shared heap allocation
@@ -122,6 +130,11 @@ class Network {
   void send(NodeId from, NodeId to, util::Bytes payload) {
     ++stats_.datagrams_sent;
     stats_.bytes_sent += payload.size();
+    if (from < nodes_.size()) {
+      if (tx_stats_.size() < nodes_.size()) tx_stats_.resize(nodes_.size());
+      ++tx_stats_[from].datagrams_sent;
+      tx_stats_[from].bytes_sent += payload.size();
+    }
     if (!connected(from, to)) {
       ++stats_.datagrams_partitioned;
       recycle(std::move(payload));
@@ -204,6 +217,10 @@ class Network {
 
   const NetworkStats& stats() const { return stats_; }
 
+  NodeTxStats node_tx_stats(NodeId id) const {
+    return id < tx_stats_.size() ? tx_stats_[id] : NodeTxStats{};
+  }
+
  private:
   struct Node {
     DeliverFn deliver;
@@ -271,6 +288,7 @@ class Network {
   std::deque<Flight> flights_;
   std::vector<std::uint32_t> free_flights_;
   NetworkStats stats_;
+  std::vector<NodeTxStats> tx_stats_;  // indexed by sender NodeId
 };
 
 }  // namespace newtop::sim

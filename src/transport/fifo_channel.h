@@ -84,6 +84,11 @@ struct ChannelStats {
   std::uint64_t delivered = 0;
   std::uint64_t batches_sent = 0;          // BatchFrames flushed
   std::uint64_t batched_payloads = 0;      // payloads carried inside them
+  // Relay re-sends (Router::send_relayed): payloads forwarded on another
+  // origin's behalf, counted separately from originated traffic so the
+  // datagram/syscall gates can tell overlay forwarding from own load.
+  std::uint64_t relayed_payloads = 0;
+  std::uint64_t relayed_bytes = 0;
   // Adaptive-timing telemetry (all zero while adaptive_rto is off).
   std::uint64_t rtt_samples = 0;           // Karn-valid echoes consumed
   std::uint64_t karn_skipped = 0;          // echoes discarded (rexmit)
@@ -190,8 +195,10 @@ class ChannelSender {
   // Queues payload; returns packets to transmit now (possibly none if the
   // window is full — they will go out as acks open the window). The
   // payload buffer is shared, not copied: a multicast's encoding is held
-  // once across every peer's retransmission queue.
-  void send(util::SharedBytes payload, Time now,
+  // once across every peer's retransmission queue. A BytesView payload
+  // (the relay re-send path) pins its backing arrival datagram the same
+  // way — a forwarded slice never detaches into its own buffer.
+  void send(util::BytesView payload, Time now,
             std::vector<util::Bytes>& out_packets, AckInfo piggyback_ack) {
     queue_.push_back(
         Pending{next_seq_++, std::move(payload), kNotSent, config_.rto, 0});
@@ -199,7 +206,7 @@ class ChannelSender {
   }
   void send(util::Bytes payload, Time now,
             std::vector<util::Bytes>& out_packets, AckInfo piggyback_ack) {
-    send(util::share(std::move(payload)), now, out_packets,
+    send(util::BytesView(util::share(std::move(payload))), now, out_packets,
          std::move(piggyback_ack));
   }
 
@@ -292,7 +299,7 @@ class ChannelSender {
 
   struct Pending {
     std::uint64_t seq;
-    util::SharedBytes payload;
+    util::BytesView payload;
     Time sent_at;            // kNotSent until first transmission
     Duration rto;            // current per-packet timeout (grows under backoff)
     std::uint32_t rexmits;   // retransmission count (Karn marking)
@@ -334,7 +341,7 @@ class ChannelSender {
     // Header bound: kind + 2 varints (16, the pre-extension bound), plus
     // the timing extension's flags byte + 2 stamp varints when on.
     const std::size_t need =
-        p.payload->size() + (config_.adaptive_rto ? 48 : 16);
+        p.payload.size() + (config_.adaptive_rto ? 48 : 16);
     ChannelDataFrame f;
     f.seq = p.seq;
     f.cum_ack = ack.cum;
@@ -343,7 +350,7 @@ class ChannelSender {
           TimingStamp{static_cast<std::uint64_t>(p.sent_at), p.rexmits > 0};
       f.echo = ack.echo;
     }
-    f.payload = util::BytesView(p.payload);
+    f.payload = p.payload;
     return f.encode(util::BufferPool::acquire_from(config_.pool, need));
   }
 

@@ -78,6 +78,29 @@ class Router {
       channel_send(to, peer, std::move(payload), now);
       return;
     }
+    peer.pending.push_back(util::BytesView(std::move(payload)));
+    if (peer.pending.size() >= config_.max_batch) flush_peer(to, peer, now);
+  }
+
+  // Relay re-send path (ring/tree dissemination): transmits a received
+  // slice verbatim towards `to`, buffered and batched exactly like
+  // send_buffered — the slice keeps its arrival datagram's allocation
+  // alive through the retransmission queue, so forwarding costs zero
+  // copies. Counted separately from originated traffic
+  // (ChannelStats::relayed_payloads/relayed_bytes) so datagram and
+  // syscall gates can attribute overlay load.
+  void send_relayed(PeerId to, util::BytesView payload, Time now) {
+    if (to == self_) {
+      deliver_(self_, std::move(payload));
+      return;
+    }
+    auto& peer = peers(to);
+    peer.stats.relayed_payloads += 1;
+    peer.stats.relayed_bytes += payload.size();
+    if (config_.max_batch <= 1) {
+      channel_send(to, peer, std::move(payload), now);
+      return;
+    }
     peer.pending.push_back(std::move(payload));
     if (peer.pending.size() >= config_.max_batch) flush_peer(to, peer, now);
   }
@@ -166,6 +189,11 @@ class Router {
   Time next_deadline(Time now) const {
     Time best = sim::kTimeNever;
     for (const auto& [id, peer] : peers_) {
+      // Unflushed buffered payloads (send_buffered / send_relayed) are
+      // due immediately: a host that sleeps on this deadline without
+      // flushing first must wake right back up rather than stall them
+      // for the whole poll timeout.
+      if (!peer.pending.empty()) return now;
       best = std::min(best, peer.sender.next_deadline(now));
       if (peer.ack_pending) best = std::min(best, peer.ack_due);
     }
@@ -191,6 +219,8 @@ class Router {
       total.delivered += peer.stats.delivered;
       total.batches_sent += peer.stats.batches_sent;
       total.batched_payloads += peer.stats.batched_payloads;
+      total.relayed_payloads += peer.stats.relayed_payloads;
+      total.relayed_bytes += peer.stats.relayed_bytes;
       total.rtt_samples += peer.stats.rtt_samples;
       total.karn_skipped += peer.stats.karn_skipped;
       total.spurious_rexmit += peer.stats.spurious_rexmit;
@@ -224,8 +254,11 @@ class Router {
     ChannelSender sender;
     ChannelReceiver receiver;
     ChannelStats stats;
-    // Payloads queued by send_buffered since the last flush.
-    std::vector<util::SharedBytes> pending;
+    // Payloads queued by send_buffered / send_relayed since the last
+    // flush. Views, not shared buffers: an originated payload views its
+    // whole encoding, a relayed one views a slice of its arrival
+    // datagram — either way the backing allocation stays alive.
+    std::vector<util::BytesView> pending;
     // An ack is owed for received data; cleared when an outgoing data
     // packet piggybacks it or a standalone kAck is flushed (not before
     // ack_due — waiting lets one cumulative ack cover a whole burst).
@@ -252,7 +285,7 @@ class Router {
                       std::max(config_.ack_delay_max, config_.ack_delay_min));
   }
 
-  void channel_send(PeerId to, Peer& peer, util::SharedBytes payload,
+  void channel_send(PeerId to, Peer& peer, util::BytesView payload,
                     Time now) {
     std::vector<util::Bytes> packets = std::move(tx_scratch_);
     packets.clear();
@@ -278,7 +311,7 @@ class Router {
 
   // Encodes a BatchFrame, drawing storage and shared-ownership plumbing
   // from the pool when one is configured.
-  util::SharedBytes share_frame(const std::vector<util::SharedBytes>& pending) {
+  util::SharedBytes share_frame(const std::vector<util::BytesView>& pending) {
     return util::BufferPool::share_into(
         config_.pool,
         newtop::BatchFrame::encode_shared(

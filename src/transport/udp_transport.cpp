@@ -608,6 +608,12 @@ void UdpNode::init(UdpNodeConfig&& config) {
   hooks.send = [this](ProcessId to, util::SharedBytes data) {
     router_->send(to, std::move(data), now_us());
   };
+  hooks.send_relay = [this](ProcessId to, util::BytesView data) {
+    // Relay forward: the received slice re-enters the channel verbatim
+    // (batched with anything else pending; the end-of-iteration flush
+    // drains it into the same sendmmsg burst).
+    router_->send_relayed(to, std::move(data), now_us());
+  };
   hooks.on_event = [this](const Event& ev) {
     {
       std::scoped_lock lock(log_mutex_);
@@ -761,6 +767,11 @@ ChannelStats UdpNode::transport_stats() {
   s.rx_copies = io.rx_copies;
   s.wakeups = io.wakeups;
   return s;
+}
+
+EndpointStats UdpNode::endpoint_stats() {
+  return marshal<EndpointStats>(
+      {}, [](Endpoint& e, sim::Time) { return e.stats(); });
 }
 
 std::vector<Delivery> UdpNode::deliveries() const {

@@ -318,6 +318,11 @@ class UdpNode : public MailboxGroupHost {
   // stopped first.
   ChannelStats transport_stats();
 
+  // Protocol-layer counter snapshot (deliveries, nulls, relay traffic —
+  // see EndpointStats). Marshalled onto the loop thread; returns a
+  // default snapshot if the node stopped first.
+  EndpointStats endpoint_stats();
+
  private:
   friend class UdpTransport;
 

@@ -54,6 +54,8 @@ TEST(FuzzDecode, PureRandomBytesNeverCrashDecoders) {
     (void)FormInviteMsg::decode(b);
     (void)FormReplyMsg::decode(b);
     (void)BatchFrame::decode(b);
+    (void)RelayFrame::decode(b);
+    (void)RelayRepairMsg::decode(b);
     (void)ChannelDataFrame::decode(util::BytesView(b));
     (void)ChannelAckFrame::decode(util::BytesView(b));
     (void)peek_type(b);
@@ -181,6 +183,118 @@ TEST(FuzzDecode, MutatedBatchFramesNeverCrashDecoder) {
       for (const auto& p : d->payloads) (void)OrderedMsg::decode(p);
     }
   }
+}
+
+TEST(FuzzDecode, MutatedRelayFramesNeverCrashDecoder) {
+  util::Rng rng(24680);
+  OrderedMsg inner;
+  inner.type = MsgType::kApp;
+  inner.group = 7;
+  inner.sender = inner.emitter = 3;
+  inner.counter = 50;
+  inner.payload = {1, 2, 3};
+  const util::Bytes inner_raw = inner.encode();
+  RelayFrame frame;
+  frame.group = 7;
+  frame.origin = 3;
+  frame.seq = 12345;
+  frame.payload = util::BytesView(inner_raw);
+  const util::Bytes valid = frame.encode();
+  RelayRepairMsg repair;
+  repair.group = 7;
+  repair.emitter = 3;
+  repair.have = 49;
+  const util::Bytes valid_repair = repair.encode();
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
+    util::Bytes b = (i % 2 == 0) ? valid : valid_repair;
+    const int edits = 1 + static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.next_below(3)) {
+        case 0:
+          if (!b.empty()) {
+            b[rng.next_below(b.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+          }
+          break;
+        case 1:
+          if (!b.empty()) b.resize(rng.next_below(b.size()));
+          break;
+        case 2:
+          b.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+          break;
+      }
+    }
+    const util::BytesView view{b};
+    if (auto d = RelayFrame::decode(view)) {
+      // The nesting rule survives mutation: whatever decodes is never a
+      // batch or relay container (amplification guard) ...
+      ASSERT_FALSE(d->payload.empty());
+      const auto t = static_cast<MsgType>(d->payload[0]);
+      ASSERT_NE(t, MsgType::kBatch);
+      ASSERT_NE(t, MsgType::kRelay);
+      // ... and the payload slice stays within the arrival buffer.
+      ASSERT_GE(d->payload.begin(), view.begin());
+      ASSERT_LE(d->payload.end(), view.end());
+      (void)OrderedMsg::decode(d->payload);
+    }
+    (void)RelayRepairMsg::decode(view);
+  }
+}
+
+TEST(FuzzDecode, EndpointSurvivesHostileRelayFrames) {
+  // Forged relay frames straight into a live relaying group: wrong
+  // groups, non-member origins, origin/emitter mismatches, absurd seqs.
+  // Nothing crashes, nothing forged is delivered, the group keeps
+  // working.
+  simhost::WorldConfig cfg;
+  cfg.processes = 3;
+  cfg.seed = 17;
+  simhost::SimWorld w(cfg);
+  GroupOptions opts;
+  opts.dissemination = DisseminationStrategy::kRing;
+  w.create_group(1, {0, 1, 2}, opts);
+  w.run_for(300 * kMillisecond);
+
+  OrderedMsg inner;
+  inner.type = MsgType::kApp;
+  inner.group = 1;
+  inner.sender = inner.emitter = 0;
+  inner.counter = 1;
+  inner.payload = {'x'};
+  const util::Bytes inner_raw = inner.encode();
+
+  RelayFrame wrong_group;
+  wrong_group.group = 99;
+  wrong_group.origin = 0;
+  wrong_group.seq = 1;
+  wrong_group.payload = util::BytesView(inner_raw);
+  w.ep(1).on_message(0, wrong_group.encode(), w.now());
+
+  RelayFrame mismatched;  // origin != inner emitter: forged attribution
+  mismatched.group = 1;
+  mismatched.origin = 2;
+  mismatched.seq = 1;
+  mismatched.payload = util::BytesView(inner_raw);
+  w.ep(1).on_message(0, mismatched.encode(), w.now());
+
+  RelayFrame absurd_seq;
+  absurd_seq.group = 1;
+  absurd_seq.origin = 0;
+  absurd_seq.seq = kCounterMax - 1;  // stashes, asks for repair, inert
+  absurd_seq.payload = util::BytesView(inner_raw);
+  w.ep(1).on_message(0, absurd_seq.encode(), w.now());
+
+  RelayRepairMsg hostile_repair;
+  hostile_repair.group = 1;
+  hostile_repair.emitter = 2;  // not the handler's own stream: refused
+  hostile_repair.have = 0;
+  w.ep(1).on_message(0, hostile_repair.encode(), w.now());
+
+  w.multicast(0, 1, "sane");
+  w.run_for(2 * kSecond);
+  const auto d = w.process(1).delivered_strings(1);
+  EXPECT_EQ(d, std::vector<std::string>{"sane"});
+  EXPECT_EQ(w.ep(1).view(1)->members, (std::vector<ProcessId>{0, 1, 2}));
 }
 
 TEST(FuzzDecode, EndpointSurvivesHostileBatches) {

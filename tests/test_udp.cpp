@@ -267,6 +267,78 @@ TEST(UdpTransport, SharedTransportMultiGroupIsolation) {
   for (auto& n : nodes) n->stop();
 }
 
+TEST(UdpTransport, MixedDisseminationSharedTransport) {
+  // A relaying (ring) group and a full-mesh group coexisting on ONE
+  // socket: kRelay frames for group 1 demux and forward hop-by-hop
+  // while group 2's direct datagrams flow untouched, and both groups
+  // keep total order across every member. The TSan leg runs this file,
+  // so the relay rx path (forward + seq gate) gets raced for real.
+  auto transport = std::make_shared<UdpTransport>(0);
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  for (ProcessId id = 0; id < 4; ++id) {
+    nodes.push_back(std::make_unique<UdpNode>(id, transport, fast_cfg()));
+  }
+  for (auto& n : nodes) {
+    for (auto& peer : nodes) {
+      if (peer->id() != n->id()) n->add_peer(peer->id(), transport->port());
+    }
+  }
+  for (auto& n : nodes) n->start();
+  std::vector<ProcessId> members{0, 1, 2, 3};
+  GroupOptions ring;
+  ring.dissemination = DisseminationStrategy::kRing;
+  for (auto& n : nodes) {
+    n->create_group(1, members, ring);  // relayed
+    n->create_group(2, members);        // full mesh
+  }
+  std::this_thread::sleep_for(100ms);  // bootstrap settle (see above)
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(send_accepted(
+        nodes[i]->group(1).multicast(bytes_of("ring" + std::to_string(i)))));
+    EXPECT_TRUE(send_accepted(
+        nodes[i]->group(2).multicast(bytes_of("mesh" + std::to_string(i)))));
+  }
+  ASSERT_TRUE(wait_for(
+      [&] {
+        for (auto& n : nodes) {
+          if (n->delivery_count(1) < 3 || n->delivery_count(2) < 3)
+            return false;
+        }
+        return true;
+      },
+      15s));
+  // Same total order per group at every member.
+  const auto ref = nodes[0]->deliveries();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto d = nodes[i]->deliveries();
+    ASSERT_EQ(d.size(), ref.size()) << "node " << i;
+    for (GroupId g : {GroupId(1), GroupId(2)}) {
+      std::vector<std::string> want, got;
+      for (const auto& e : ref) {
+        if (e.group == g) want.emplace_back(e.payload.begin(), e.payload.end());
+      }
+      for (const auto& e : d) {
+        if (e.group == g) got.emplace_back(e.payload.begin(), e.payload.end());
+      }
+      EXPECT_EQ(got, want) << "node " << i << " group " << g;
+    }
+  }
+  // The ring group actually relayed: the senders wrapped their
+  // multicasts (and nulls) into RelayFrames, and at least one member
+  // forwarded a frame onward. The mesh group contributes nothing to
+  // these counters.
+  std::uint64_t originated = 0, forwarded = 0;
+  for (auto& n : nodes) {
+    const EndpointStats es = n->endpoint_stats();
+    originated += es.relays_originated;
+    forwarded += es.relays_forwarded;
+  }
+  EXPECT_GT(originated, 0u);
+  EXPECT_GT(forwarded, 0u);
+  for (auto& n : nodes) n->stop();
+}
+
 TEST(UdpTransport, SyscallCountersMonotonic) {
   // The socket-layer io counters surface through transport_stats and
   // only ever grow; the rx path never stages a copy.
