@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Format check for changed files (no whole-tree reformat: blame stays
+# useful and the diff stays reviewable).
+#
+# Usage:
+#   scripts/check_format.sh [base-ref]     # files changed vs base-ref
+#   scripts/check_format.sh --all          # every tracked source file
+#
+# base-ref defaults to the merge-base with origin/main when that remote
+# ref exists, else HEAD~1, else --all. Uses clang-format --dry-run
+# -Werror with the repo .clang-format; exit 2 if clang-format is
+# missing (the static-analysis CI leg installs it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "$FMT" ]]; then
+  for cand in clang-format clang-format-19 clang-format-18 \
+              clang-format-17 clang-format-16 clang-format-15 \
+              clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then FMT="$cand"; break; fi
+  done
+fi
+if [[ -z "$FMT" ]]; then
+  echo "error: clang-format not found (install it, or set CLANG_FORMAT=)" >&2
+  exit 2
+fi
+
+mode="${1:-}"
+files=()
+if [[ "$mode" == "--all" ]]; then
+  mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cpp' \
+                       'tests/*.cpp' 'bench/*.cpp' 'bench/*.h' \
+                       'examples/*.cpp')
+else
+  base="$mode"
+  if [[ -z "$base" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base="$(git merge-base HEAD origin/main)"
+    elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+      base="HEAD~1"
+    else
+      exec "$0" --all
+    fi
+  fi
+  mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$base" -- \
+                       'src/**/*.h' 'src/**/*.cpp' 'tests/*.cpp' \
+                       'bench/*.cpp' 'bench/*.h' 'examples/*.cpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no source files to check"
+  exit 0
+fi
+
+echo "check_format: ${#files[@]} file(s) with $FMT"
+STATUS=0
+for f in "${files[@]}"; do
+  [[ -f "$f" ]] || continue
+  "$FMT" --dry-run -Werror "$f" || STATUS=1
+done
+if [[ $STATUS -ne 0 ]]; then
+  echo "check_format: run '$FMT -i <file>' on the files above" >&2
+fi
+exit $STATUS

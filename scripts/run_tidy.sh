@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# clang-tidy over the library translation units, driven by the compile
+# database CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Usage:
+#   scripts/run_tidy.sh [build-dir] [--checks=<override>] [files...]
+#
+#   build-dir defaults to ./build (must contain compile_commands.json —
+#   configure first). With no files given, every src/**/*.cpp in the
+#   compile database is tidied. The check set comes from the repo
+#   .clang-tidy (WarningsAsErrors: '*', so any finding is a nonzero
+#   exit); --checks= overrides it, which nightly.yml uses for the
+#   heavier sweep.
+#
+# Fail-closed: a missing clang-tidy or compile database is an error
+# (exit 2), not a skip — the static-analysis CI leg installs the tool;
+# locally, `apt install clang-tidy` (any recent major works).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CHECKS_ARG=()
+FILES=()
+for arg in "$@"; do
+  case "$arg" in
+    --checks=*) CHECKS_ARG=("$arg") ;;
+    -*) echo "unknown option: $arg" >&2; exit 2 ;;
+    *)
+      if [[ -z "${FILES[*]:-}" && -d "$arg" ]]; then
+        BUILD_DIR="$arg"
+      else
+        FILES+=("$arg")
+      fi
+      ;;
+  esac
+done
+
+TIDY="${TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "error: clang-tidy not found (install clang-tidy, or set TIDY=)" >&2
+  exit 2
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  # Library TUs only: tests/benches are compiled with the same warnings
+  # but tidy churn on test scaffolding is not worth the wall-clock.
+  mapfile -t FILES < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/src/" in f and f.endswith(".cpp"):
+        print(f)
+EOF
+  )
+fi
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "error: no library TUs found in compile database" >&2
+  exit 2
+fi
+
+echo "running $TIDY on ${#FILES[@]} TU(s) with $BUILD_DIR/compile_commands.json"
+STATUS=0
+for f in "${FILES[@]}"; do
+  echo "== $f"
+  "$TIDY" -p "$BUILD_DIR" --quiet "${CHECKS_ARG[@]}" "$f" || STATUS=1
+done
+if [[ $STATUS -ne 0 ]]; then
+  echo "clang-tidy: findings above (WarningsAsErrors: '*')" >&2
+fi
+exit $STATUS

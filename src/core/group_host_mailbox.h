@@ -9,6 +9,13 @@
 // a host supplies only its enqueue primitive and its SendCounts
 // recorder. Do not call the blocking methods from code running on the
 // owner thread itself — they would deadlock on their own mailbox.
+//
+// Thread-safety analysis: this mixin owns no locks and no shared
+// mutable fields — every cross-thread hand-off rides a shared_ptr'd
+// promise/guard captured by value into the command closure, and the
+// mailbox mutex that serializes the closures belongs to the host
+// (annotated there, see threaded_runtime.cpp / udp_transport.h). The
+// host's enqueue_host_command override carries the EXCLUDES contract.
 #pragma once
 
 #include <functional>

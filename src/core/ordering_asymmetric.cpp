@@ -82,6 +82,7 @@ class AsymmetricPlane final : public OrderingPlane {
   }
 
   Accept accept(GroupCtx& g, const OrderedMsg& m, Time now) override {
+    (void)g;
     if (!advance_stream(m.emitter, m.counter)) {
       ++host_.mutable_stats().duplicates_dropped;
       return Accept::kStale;

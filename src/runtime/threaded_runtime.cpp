@@ -8,6 +8,8 @@
 
 #include "core/group_host_mailbox.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace newtop::runtime {
 
@@ -42,7 +44,7 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     };
     hooks.on_event = [this](const Event& ev) {
       {
-        std::scoped_lock lock(log_mutex_);
+        util::MutexLock lock(log_mutex_);
         if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
           deliveries_.push_back(d->delivery);
         } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
@@ -57,17 +59,25 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
                                            std::move(hooks));
   }
 
-  void start() {
+  void start() EXCLUDES(join_mutex_) {
+    util::MutexLock join_lock(join_mutex_);
     thread_ = std::thread([this] { run(); });
   }
 
-  void stop() {
+  void stop() EXCLUDES(mutex_, join_mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
+    // join_mutex_ serializes concurrent stop() calls (shutdown() racing
+    // the destructor from another thread): exactly one caller joins,
+    // the rest see joinable() == false. The join cannot hold mutex_ —
+    // run() acquires it.
+    {
+      util::MutexLock join_lock(join_mutex_);
+      if (thread_.joinable()) thread_.join();
+    }
     // Drop commands that never ran: destroying them breaks their
     // promises / fires their completion guards, so a GroupHandle blocked
     // on one unblocks (kNotMember) instead of waiting for the runtime's
@@ -75,15 +85,15 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     // callback may re-enter this worker.
     std::deque<Item> dropped;
     {
-      std::scoped_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       dropped.swap(inbox_);
     }
   }
 
-  void crash() {
+  void crash() EXCLUDES(mutex_) {
     std::deque<Item> dropped;
     {
-      std::scoped_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
       crashed_ = true;
       dropped.swap(inbox_);
@@ -92,9 +102,10 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     // `dropped` destroyed here, outside the lock (see stop()).
   }
 
-  void enqueue_message(ProcessId from, util::BytesView data) {
+  void enqueue_message(ProcessId from, util::BytesView data)
+      EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopping_) return;
       inbox_.push_back(Item{Item::kMessage, from, std::move(data), {}});
     }
@@ -102,9 +113,10 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
   }
 
   // False when the worker is stopping and the command was dropped.
-  bool enqueue_command(std::function<void(Endpoint&, sim::Time)> fn) {
+  bool enqueue_command(std::function<void(Endpoint&, sim::Time)> fn)
+      EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopping_) return false;
       inbox_.push_back(Item{Item::kCommand, 0, {}, std::move(fn)});
     }
@@ -112,23 +124,24 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     return true;
   }
 
-  SendCounts send_counts() const {
-    std::scoped_lock lock(log_mutex_);
+  SendCounts send_counts() const EXCLUDES(log_mutex_) {
+    util::MutexLock lock(log_mutex_);
     return send_counts_;
   }
 
-  std::vector<Delivery> deliveries() const {
-    std::scoped_lock lock(log_mutex_);
+  std::vector<Delivery> deliveries() const EXCLUDES(log_mutex_) {
+    util::MutexLock lock(log_mutex_);
     return deliveries_;
   }
 
-  std::vector<std::pair<GroupId, View>> views() const {
-    std::scoped_lock lock(log_mutex_);
+  std::vector<std::pair<GroupId, View>> views() const
+      EXCLUDES(log_mutex_) {
+    util::MutexLock lock(log_mutex_);
     return views_;
   }
 
-  std::size_t delivery_count(GroupId g) const {
-    std::scoped_lock lock(log_mutex_);
+  std::size_t delivery_count(GroupId g) const EXCLUDES(log_mutex_) {
+    util::MutexLock lock(log_mutex_);
     std::size_t n = 0;
     for (const auto& d : deliveries_) {
       if (d.group == g) ++n;
@@ -136,8 +149,8 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
     return n;
   }
 
-  bool crashed() const {
-    std::scoped_lock lock(mutex_);
+  bool crashed() const EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return crashed_;
   }
 
@@ -153,20 +166,26 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
   bool enqueue_host_command(HostCommand fn) override {
     return enqueue_command(std::move(fn));
   }
-  void record_host_send(SendResult r) override {
-    std::scoped_lock lock(log_mutex_);
+  void record_host_send(SendResult r) override EXCLUDES(log_mutex_) {
+    util::MutexLock lock(log_mutex_);
     send_counts_.note(r);
   }
 
-  void run() {
+  void run() EXCLUDES(mutex_) {
     const auto tick = std::chrono::microseconds(cfg_.tick_interval);
     auto next_tick = std::chrono::steady_clock::now() + tick;
     while (true) {
       std::deque<Item> batch;
       {
-        std::unique_lock lock(mutex_);
-        cv_.wait_until(lock, next_tick,
-                       [this] { return stopping_ || !inbox_.empty(); });
+        util::MutexLock lock(mutex_);
+        // Explicit wait loop rather than the predicate overload: the
+        // analysis sees the guarded reads under the held lock.
+        while (!stopping_ && inbox_.empty()) {
+          if (cv_.wait_until(lock.native(), next_tick) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
         if (stopping_) return;
         batch.swap(inbox_);
       }
@@ -223,22 +242,26 @@ class ThreadedRuntime::Worker : public MailboxGroupHost {
   ThreadedRuntime& rt_;
   util::BufferPoolPtr pool_;
   std::unique_ptr<Endpoint> endpoint_;
-  std::thread thread_;
+  // Assigned by start(), joined by stop(); its own capability so that
+  // concurrent stop() calls cannot race on the join (run() never takes
+  // join_mutex_, so the joiner holding it cannot deadlock the worker).
+  mutable util::Mutex join_mutex_;
+  std::thread thread_ GUARDED_BY(join_mutex_);
   // Owner-thread-only: per-destination sends buffered within a quantum.
   // Views: originated sends view their whole encoding, relay forwards
   // view slices of their arrival buffer (either way zero-copy).
   std::map<ProcessId, std::vector<util::BytesView>> outbox_;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Item> inbox_;
-  bool stopping_ = false;
-  bool crashed_ = false;
+  std::deque<Item> inbox_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool crashed_ GUARDED_BY(mutex_) = false;
 
-  mutable std::mutex log_mutex_;
-  std::vector<Delivery> deliveries_;
-  std::vector<std::pair<GroupId, View>> views_;
-  SendCounts send_counts_;
+  mutable util::Mutex log_mutex_;
+  std::vector<Delivery> deliveries_ GUARDED_BY(log_mutex_);
+  std::vector<std::pair<GroupId, View>> views_ GUARDED_BY(log_mutex_);
+  SendCounts send_counts_ GUARDED_BY(log_mutex_);
 };
 
 ThreadedRuntime::ThreadedRuntime(std::size_t processes, RuntimeConfig config)

@@ -210,7 +210,7 @@ bool UdpTransport::mmsg_enabled() const {
 }
 
 void UdpTransport::add_route(ProcessId peer, std::uint16_t port) {
-  std::scoped_lock lock(routes_mutex_);
+  util::MutexLock lock(routes_mutex_);
   routes_[peer] = port;
 }
 
@@ -229,9 +229,10 @@ TransportIoStats UdpTransport::io_stats() const {
 }
 
 void UdpTransport::start() {
-  std::scoped_lock lock(state_mutex_);
+  util::MutexLock lock(state_mutex_);
   if (started_) return;
   started_ = true;
+  util::MutexLock join_lock(join_mutex_);
   loop_thread_ = std::thread([this] { loop(); });
   for (std::size_t i = 0; i < shard_threads_target_; ++i) {
     shard_threads_.emplace_back([this, i] { shard_loop(i); });
@@ -240,11 +241,17 @@ void UdpTransport::start() {
 
 void UdpTransport::stop() {
   {
-    std::scoped_lock lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     if (!started_) return;
   }
   stopping_.store(true);
   wake();
+  // join_mutex_ serializes concurrent stop() calls (e.g. an explicit
+  // stop racing a destructor on another thread): exactly one caller
+  // joins each handle, the rest see joinable() == false. Joining under
+  // state_mutex_ instead would deadlock — the loop acquires it every
+  // iteration.
+  util::MutexLock join_lock(join_mutex_);
   if (loop_thread_.joinable()) loop_thread_.join();
   for (auto& t : shard_threads_) {
     if (t.joinable()) t.join();
@@ -253,28 +260,30 @@ void UdpTransport::stop() {
 }
 
 void UdpTransport::attach(UdpNode* node) {
-  std::scoped_lock lock(state_mutex_);
+  util::MutexLock lock(state_mutex_);
   const auto [it, inserted] = nodes_.emplace(node->id(), node);
   NEWTOP_CHECK_MSG(inserted, "duplicate node id on transport");
   wake();
 }
 
 void UdpTransport::detach(UdpNode* node) {
-  std::unique_lock lock(state_mutex_);
+  util::MutexLock lock(state_mutex_);
   nodes_.erase(node->id());
   wake();  // cut a long idle poll short; in_dispatch_ spans it
   // The loop may be mid-iteration with the node still in its snapshot;
   // wait it out so the node cannot be touched after detach returns.
   // (Consequently a node must not be stopped from the loop thread
-  // itself — i.e. from inside an event sink or command.)
-  detach_cv_.wait(lock, [this] { return !in_dispatch_; });
+  // itself — i.e. from inside an event sink or command.) Explicit loop
+  // rather than the predicate overload: the analysis sees the guarded
+  // read of in_dispatch_ under the held lock.
+  while (in_dispatch_) detach_cv_.wait(lock.native());
 }
 
 void UdpTransport::queue_send(ProcessId from, ProcessId to,
                               util::Bytes data) {
   std::uint16_t dest = 0;
   {
-    std::scoped_lock lock(routes_mutex_);
+    util::MutexLock lock(routes_mutex_);
     auto it = routes_.find(to);
     if (it == routes_.end()) {
       NEWTOP_LOG_WARN("udp transport: no route for peer %u", to);
@@ -487,7 +496,7 @@ void UdpTransport::loop() {
   std::map<ProcessId, UdpNode*> snapshot;
   while (!stopping_.load()) {
     {
-      std::scoped_lock lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       snapshot = nodes_;
       in_dispatch_ = true;
     }
@@ -508,7 +517,7 @@ void UdpTransport::loop() {
     items.clear();
     if (sock_readable) drain_socket(socket_.fd(), *loop_slots_, items);
     if (shard_threads_target_ > 0) {
-      std::scoped_lock lock(rxq_mutex_);
+      util::MutexLock lock(rxq_mutex_);
       if (items.empty()) {
         items.swap(rx_queue_);
       } else {
@@ -536,7 +545,7 @@ void UdpTransport::loop() {
     for (const auto& [id, node] : snapshot) node->flush(now);
     flush_tx();
     {
-      std::scoped_lock lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       in_dispatch_ = false;
     }
     detach_cv_.notify_all();
@@ -558,7 +567,7 @@ void UdpTransport::shard_loop(std::size_t shard) {
     drain_socket(fd, slots, items);
     if (items.empty()) continue;
     {
-      std::scoped_lock lock(rxq_mutex_);
+      util::MutexLock lock(rxq_mutex_);
       rx_queue_.insert(rx_queue_.end(),
                        std::make_move_iterator(items.begin()),
                        std::make_move_iterator(items.end()));
@@ -616,7 +625,7 @@ void UdpNode::init(UdpNodeConfig&& config) {
   };
   hooks.on_event = [this](const Event& ev) {
     {
-      std::scoped_lock lock(log_mutex_);
+      util::MutexLock lock(log_mutex_);
       if (const auto* d = std::get_if<DeliveryEvent>(&ev)) {
         deliveries_.push_back(d->delivery);
       } else if (const auto* v = std::get_if<ViewChangeEvent>(&ev)) {
@@ -641,7 +650,7 @@ void UdpNode::add_peer(ProcessId peer, std::uint16_t port) {
 
 void UdpNode::start() {
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     NEWTOP_CHECK(!attached_ && !stopping_);
     attached_ = true;
   }
@@ -653,7 +662,7 @@ void UdpNode::start() {
 void UdpNode::stop() {
   bool was_attached = false;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
     was_attached = attached_;
     attached_ = false;
@@ -666,14 +675,14 @@ void UdpNode::stop() {
   // mutex — a completion callback may re-enter this node.
   std::deque<std::function<void(Endpoint&, sim::Time)>> dropped;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     dropped.swap(commands_);
   }
 }
 
 bool UdpNode::enqueue_host_command(HostCommand fn) {
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) return false;
     commands_.push_back(std::move(fn));
   }
@@ -682,7 +691,7 @@ bool UdpNode::enqueue_host_command(HostCommand fn) {
 }
 
 void UdpNode::record_host_send(SendResult r) {
-  std::scoped_lock lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   send_counts_.note(r);
 }
 
@@ -693,7 +702,7 @@ void UdpNode::on_rx(ProcessId from, util::BytesView payload, sim::Time now) {
 void UdpNode::pump(sim::Time now) {
   std::deque<std::function<void(Endpoint&, sim::Time)>> cmds;
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     cmds.swap(commands_);
   }
   for (auto& cmd : cmds) cmd(*endpoint_, now_us());
@@ -744,7 +753,7 @@ void UdpNode::multicast(GroupId g, util::Bytes payload,
 void UdpNode::leave_group(GroupId g) { group_leave(g); }
 
 SendCounts UdpNode::send_counts() const {
-  std::scoped_lock lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   return send_counts_;
 }
 
@@ -754,7 +763,7 @@ ChannelStats UdpNode::transport_stats() {
   {
     // A stopped node returns the default snapshot untouched (the marshal
     // above already fell back to it).
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) return s;
   }
   // Overlay the socket-layer counters (transport-wide: shared by every
@@ -775,17 +784,17 @@ EndpointStats UdpNode::endpoint_stats() {
 }
 
 std::vector<Delivery> UdpNode::deliveries() const {
-  std::scoped_lock lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   return deliveries_;
 }
 
 std::vector<std::pair<GroupId, View>> UdpNode::views() const {
-  std::scoped_lock lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   return views_;
 }
 
 std::size_t UdpNode::delivery_count(GroupId g) const {
-  std::scoped_lock lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   std::size_t n = 0;
   for (const auto& d : deliveries_) {
     if (d.group == g) ++n;

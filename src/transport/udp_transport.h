@@ -37,7 +37,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +45,8 @@
 #include "core/endpoint.h"
 #include "core/group_host_mailbox.h"
 #include "transport/router.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace newtop::transport {
 
@@ -150,12 +151,15 @@ class UdpTransport {
 
   // Registers the UDP port of a peer process. Shared by all attached
   // nodes; must be called before traffic flows to that peer.
-  void add_route(ProcessId peer, std::uint16_t port);
+  void add_route(ProcessId peer, std::uint16_t port)
+      EXCLUDES(routes_mutex_);
 
   TransportIoStats io_stats() const;
 
-  void start();  // idempotent; spawns the loop (and shard) threads
-  void stop();   // joins all threads; idempotent; not restartable
+  // Idempotent; spawns the loop (and shard) threads.
+  void start() EXCLUDES(state_mutex_);
+  // Joins all threads; idempotent; not restartable.
+  void stop() EXCLUDES(state_mutex_);
 
  private:
   friend class UdpNode;
@@ -178,11 +182,12 @@ class UdpTransport {
   struct RxSlots;
 
   // Node lifecycle (called by UdpNode).
-  void attach(UdpNode* node);
-  void detach(UdpNode* node);
+  void attach(UdpNode* node) EXCLUDES(state_mutex_);
+  void detach(UdpNode* node) EXCLUDES(state_mutex_);
   // Queues one encoded channel packet for `to` (event-loop thread only;
   // flushed in bursts at the end of the loop iteration).
-  void queue_send(ProcessId from, ProcessId to, util::Bytes data);
+  void queue_send(ProcessId from, ProcessId to, util::Bytes data)
+      EXCLUDES(routes_mutex_);
   // Wakes the event loop (any thread).
   void wake();
 
@@ -205,26 +210,34 @@ class UdpTransport {
   // each iteration and dispatches outside the lock (so node callbacks
   // may re-enter transport APIs); detach waits for the in-flight
   // iteration, after which the loop can no longer reach the node.
-  mutable std::mutex state_mutex_;
+  mutable util::Mutex state_mutex_;
   std::condition_variable detach_cv_;
-  std::map<ProcessId, UdpNode*> nodes_;
-  bool in_dispatch_ = false;
-  bool started_ = false;
+  std::map<ProcessId, UdpNode*> nodes_ GUARDED_BY(state_mutex_);
+  bool in_dispatch_ GUARDED_BY(state_mutex_) = false;
+  bool started_ GUARDED_BY(state_mutex_) = false;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex routes_mutex_;
-  std::map<ProcessId, std::uint16_t> routes_;
+  mutable util::Mutex routes_mutex_;
+  std::map<ProcessId, std::uint16_t> routes_ GUARDED_BY(routes_mutex_);
 
   // Sharded-receive handoff queue (shards push, loop drains).
-  std::mutex rxq_mutex_;
-  std::vector<RxItem> rx_queue_;
+  util::Mutex rxq_mutex_;
+  std::vector<RxItem> rx_queue_ GUARDED_BY(rxq_mutex_);
 
   // Event-loop-thread-only transmit state.
   std::deque<TxEntry> tx_pending_;
   std::unique_ptr<RxSlots> loop_slots_;
 
-  std::thread loop_thread_;
-  std::vector<std::thread> shard_threads_;
+  // Thread handles: assigned by start(), joined by stop(). The join
+  // cannot hold state_mutex_ (the loop acquires it every iteration),
+  // so the handles get their own capability — without it, two
+  // concurrent stop() calls both reach join() on the same handle,
+  // which is a data race the annotation pass surfaced. Lock order:
+  // state_mutex_ before join_mutex_ (start takes both; the loop never
+  // takes join_mutex_).
+  mutable util::Mutex join_mutex_;
+  std::thread loop_thread_ GUARDED_BY(join_mutex_);
+  std::vector<std::thread> shard_threads_ GUARDED_BY(join_mutex_);
 
   // Io counters (relaxed atomics: single writer per counter family,
   // read from anywhere).
@@ -335,8 +348,8 @@ class UdpNode : public MailboxGroupHost {
   void init(UdpNodeConfig&& config);
   sim::Time now_us() const;
   // MailboxGroupHost: the transport loop thread is the owner.
-  bool enqueue_host_command(HostCommand fn) override;
-  void record_host_send(SendResult r) override;
+  bool enqueue_host_command(HostCommand fn) override EXCLUDES(mutex_);
+  void record_host_send(SendResult r) override EXCLUDES(log_mutex_);
 
   ProcessId id_;
   UdpNodeConfig cfg_;
@@ -347,15 +360,16 @@ class UdpNode : public MailboxGroupHost {
   std::unique_ptr<Endpoint> endpoint_;
   sim::Time next_tick_ = 0;  // loop-thread-only once attached
 
-  mutable std::mutex mutex_;
-  std::deque<std::function<void(Endpoint&, sim::Time)>> commands_;
-  bool stopping_ = false;
-  bool attached_ = false;
+  mutable util::Mutex mutex_;
+  std::deque<std::function<void(Endpoint&, sim::Time)>> commands_
+      GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool attached_ GUARDED_BY(mutex_) = false;
 
-  mutable std::mutex log_mutex_;
-  std::vector<Delivery> deliveries_;
-  std::vector<std::pair<GroupId, View>> views_;
-  SendCounts send_counts_;
+  mutable util::Mutex log_mutex_;
+  std::vector<Delivery> deliveries_ GUARDED_BY(log_mutex_);
+  std::vector<std::pair<GroupId, View>> views_ GUARDED_BY(log_mutex_);
+  SendCounts send_counts_ GUARDED_BY(log_mutex_);
 };
 
 }  // namespace newtop::transport

@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/codec.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace newtop::util {
 
@@ -72,7 +73,9 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
 
   ~BufferPool() {
     // Freelist slots own their Bytes; outstanding slots are owned by the
-    // SlotDeleters keeping this pool alive, so none exist here.
+    // SlotDeleters keeping this pool alive, so none exist here. The lock
+    // is uncontended by the same argument — it satisfies the analysis.
+    MutexLock lock(mutex_);
     for (Bytes* s : slots_) delete s;
     for (auto& [size, blocks] : ctrl_free_) {
       for (void* b : blocks) ::operator delete(b);
@@ -106,8 +109,8 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
 
   // Returns a buffer's storage to the freelist (or frees it if the class
   // is full / the capacity is outside the pooled range).
-  void release(Bytes b) {
-    std::scoped_lock lock(mutex_);
+  void release(Bytes b) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     release_locked(std::move(b));
   }
 
@@ -115,12 +118,12 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   // the storage, the pointee Bytes object and the control block. Requires
   // the pool itself to be owned by a shared_ptr (the deleter keeps it
   // alive); otherwise degrades to a plain one-shot share().
-  SharedBytes share(Bytes b) {
+  SharedBytes share(Bytes b) EXCLUDES(mutex_) {
     std::shared_ptr<BufferPool> self = weak_from_this().lock();
     if (!cfg_.enabled || self == nullptr) return util::share(std::move(b));
     Bytes* slot;
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.shares;
       if (!slots_.empty()) {
         slot = slots_.back();
@@ -135,8 +138,8 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
                        CtrlAlloc<Bytes>{std::move(self)});
   }
 
-  BufferPoolStats stats() const {
-    std::scoped_lock lock(mutex_);
+  BufferPoolStats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
@@ -198,14 +201,14 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   // Freelist pop (or fresh reservation) without normalising the size:
   // acquire() clears, acquire_full() resizes. Freelisted buffers carry
   // whatever size they were released at.
-  Bytes acquire_raw(std::size_t reserve) {
+  Bytes acquire_raw(std::size_t reserve) EXCLUDES(mutex_) {
     if (!cfg_.enabled || reserve > cfg_.max_class) {
       Bytes b;
       b.reserve(reserve);
       return b;
     }
     const std::size_t cls = class_up(reserve);
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.acquires;
     auto& list = class_list(cls);
     if (!list.empty()) {
@@ -219,8 +222,8 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
     return b;
   }
 
-  void recycle_slot(Bytes* slot) {
-    std::scoped_lock lock(mutex_);
+  void recycle_slot(Bytes* slot) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     release_locked(std::move(*slot));
     slot->clear();
     if (slots_.size() < cfg_.max_per_class) {
@@ -230,7 +233,7 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
     }
   }
 
-  void release_locked(Bytes b) {
+  void release_locked(Bytes b) REQUIRES(mutex_) {
     const std::size_t cap = b.capacity();
     if (!cfg_.enabled || cap < cfg_.min_class || cap > cfg_.max_class) {
       ++stats_.dropped;
@@ -258,9 +261,9 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
     return std::min(cfg_.max_per_class, by_bytes);
   }
 
-  void* ctrl_allocate(std::size_t size) {
+  void* ctrl_allocate(std::size_t size) EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = ctrl_free_.find(size);
       if (it != ctrl_free_.end() && !it->second.empty()) {
         void* b = it->second.back();
@@ -271,9 +274,9 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
     return ::operator new(size);
   }
 
-  void ctrl_deallocate(void* p, std::size_t size) {
+  void ctrl_deallocate(void* p, std::size_t size) EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       auto& list = ctrl_free_[size];
       if (list.size() < cfg_.max_per_class) {
         list.push_back(p);
@@ -302,19 +305,20 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
 
   // Freelist for one class: flat vector indexed by class position (no
   // tree walk on the hot path), grown lazily.
-  std::vector<Bytes>& class_list(std::size_t cls) {
+  std::vector<Bytes>& class_list(std::size_t cls) REQUIRES(mutex_) {
     const std::size_t i = class_index(cls);
     if (store_.size() <= i) store_.resize(i + 1);
     return store_[i];
   }
 
-  BufferPoolConfig cfg_;
-  mutable std::mutex mutex_;
+  BufferPoolConfig cfg_;  // immutable after construction
+  mutable Mutex mutex_;
   // store_[i] holds cleared buffers of capacity in [min<<i, min<<(i+1)).
-  std::vector<std::vector<Bytes>> store_;
-  std::vector<Bytes*> slots_;                       // recycled pointees
-  std::map<std::size_t, std::vector<void*>> ctrl_free_;  // control blocks
-  BufferPoolStats stats_;
+  std::vector<std::vector<Bytes>> store_ GUARDED_BY(mutex_);
+  std::vector<Bytes*> slots_ GUARDED_BY(mutex_);  // recycled pointees
+  // Control-block freelist, keyed by block size.
+  std::map<std::size_t, std::vector<void*>> ctrl_free_ GUARDED_BY(mutex_);
+  BufferPoolStats stats_ GUARDED_BY(mutex_);
 };
 
 using BufferPoolPtr = std::shared_ptr<BufferPool>;

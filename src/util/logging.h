@@ -3,7 +3,11 @@
 // Logging is rare and diagnostic-only in this codebase (the protocol engine
 // reports through return values, not logs), so the implementation favours
 // simplicity: printf-style formatting to stderr guarded by a global level.
-// Thread-safe: each log call writes a single formatted line with one write.
+// Thread-safe: each log call writes a single formatted line with one
+// write, and the level gate is a lock-free relaxed atomic — there is no
+// mutex here, so there is nothing for the thread-safety analysis to
+// check (GUARDED_BY is for mutex-guarded fields; atomics carry their
+// ordering in the type).
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,54 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// `util::Mutex` is a `std::mutex` carrying the CAPABILITY attribute;
+// `util::MutexLock` is the RAII guard the analysis understands
+// (SCOPED_CAPABILITY). All host-side locking goes through these so that
+// every GUARDED_BY field in the codebase is compiler-checked under
+// -Wthread-safety. Condition-variable waits use the underlying
+// std::unique_lock via MutexLock::native() — the wait releases and
+// reacquires the lock internally, which is invisible to (and fine with)
+// the analysis: the capability is held at every annotated access.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace newtop::util {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The raw mutex, for std::condition_variable only. Do not lock it
+  // directly — that would bypass the analysis.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() {}  // lock_ unlocks after the (empty) body
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For std::condition_variable::wait/wait_until, which need the
+  // underlying unique_lock. The capability is considered held across
+  // the wait (the wait reacquires before returning).
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace newtop::util

@@ -480,7 +480,9 @@ TEST(FuzzDecode, ViewDecodersSliceWithinBackingBuffer) {
       EXPECT_TRUE(in_bounds(m->payload));
       EXPECT_TRUE(in_bounds(m->raw));
     }
-    if (auto f = FwdMsg::decode(view)) EXPECT_TRUE(in_bounds(f->payload));
+    if (auto f = FwdMsg::decode(view)) {
+      EXPECT_TRUE(in_bounds(f->payload));
+    }
     if (auto r = RefuteMsg::decode(view)) {
       for (const auto& rec : r->recovered) EXPECT_TRUE(in_bounds(rec));
     }

@@ -9,6 +9,8 @@
 #include <chrono>
 #include <future>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "runtime/threaded_runtime.h"
 
@@ -208,6 +210,26 @@ TEST(ThreadedRuntime, CleanShutdownIsIdempotent) {
   rt.multicast(0, 1, bytes_of("x"));
   rt.shutdown();
   rt.shutdown();  // second call is a no-op
+}
+
+TEST(ThreadedRuntime, ConcurrentShutdownIsSafe) {
+  // Regression for a race the thread-safety annotation pass surfaced:
+  // Worker::stop() joined thread_ with no lock, so shutdown() racing
+  // the destructor (or another shutdown()) from a second thread meant
+  // two concurrent join() calls on the same std::thread. The handle is
+  // now guarded by the worker's join_mutex_; under TSan the old code
+  // reports a data race here.
+  ThreadedRuntime rt(3, fast_cfg());
+  rt.create_group(0, 1, {0, 1, 2});
+  rt.create_group(1, 1, {0, 1, 2});
+  rt.create_group(2, 1, {0, 1, 2});
+  rt.multicast(0, 1, bytes_of("pre-shutdown"));
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&rt] { rt.shutdown(); });
+  }
+  for (auto& t : stoppers) t.join();
 }
 
 }  // namespace

@@ -473,6 +473,29 @@ TEST(UdpTransport, FastRetransmitViaDeadlineWakeups) {
   nodes[0]->stop();
 }
 
+TEST(UdpTransport, ConcurrentStopIsSafe) {
+  // Regression for a race the thread-safety annotation pass surfaced:
+  // stop() joined loop_thread_ / shard_threads_ with no lock, so two
+  // concurrent stop() calls (an explicit stop racing a destructor on
+  // another thread) both reached join() on the same std::thread. The
+  // handles are now guarded by join_mutex_; under TSan the old code
+  // reports a data race here.
+  auto nodes = make_mesh(2);
+  nodes[0]->create_group(1, {0, 1});
+  nodes[1]->create_group(1, {0, 1});
+  std::this_thread::sleep_for(50ms);
+  nodes[0]->multicast(1, bytes_of("pre-stop"));
+  for (auto& node : nodes) {
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&node] { node->transport()->stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+    node->stop();  // still idempotent after the transport is down
+  }
+}
+
 TEST(UdpTransport, DynamicFormationOverLoopback) {
   auto nodes = make_mesh(3);
   nodes[0]->initiate_group(5, {0, 1, 2});
