@@ -53,6 +53,20 @@ void print_event(ProcessId p, const Event& ev) {
       std::printf("  [event@P%u] retention pressure in g%u: %zu pinned\n",
                   p, e.group, e.stats.pinned_bytes);
     }
+    void operator()(const StateTransferEvent& e) const {
+      const char* phase =
+          e.phase == StateTransferEvent::Phase::kOffered      ? "offered"
+          : e.phase == StateTransferEvent::Phase::kInstalling ? "installing"
+                                                              : "caught-up";
+      std::printf("  [event@P%u] state transfer in g%u: %s (stamp %llu, "
+                  "%zu bytes)\n",
+                  p, e.group, phase,
+                  static_cast<unsigned long long>(e.stamp), e.bytes);
+    }
+    void operator()(const MemberJoinedEvent& e) const {
+      std::printf("  [event@P%u] P%u joined g%u -> %s\n", p, e.member,
+                  e.group, to_string(e.view).c_str());
+    }
   };
   std::visit(Printer{p}, ev);
 }

@@ -12,8 +12,8 @@ randomness — and dependencies point strictly down the layer diagram:
         sim          sim/ (discrete-event framework; sim/time.h is
                      vocabulary usable by everyone)
         transport    transport/router.h, transport/fifo_channel.h
-        engine       core/ (endpoint, ordering, wire, api, ...),
-                     baselines/
+        engine       core/ (endpoint, ordering, wire, api,
+                     state_transfer, ...), baselines/
         util         util/
 
 This script parses every #include in src/ (plus a banned-symbol scan of

@@ -23,8 +23,10 @@ void emit_to_legacy_hooks(const EndpointHooks& hooks, const Event& ev) {
   } else if (const auto* f = std::get_if<FormationEvent>(&ev)) {
     if (hooks.formation_result) hooks.formation_result(f->group, f->outcome);
   }
-  // SendWindowEvent / RetentionPressureEvent have no legacy field: a
-  // legacy-hooks application never asked for backpressure signals.
+  // SendWindowEvent / RetentionPressureEvent / StateTransferEvent /
+  // MemberJoinedEvent have no legacy field: a legacy-hooks application
+  // never asked for backpressure or state-transfer signals, and a join
+  // reaches it through the accompanying ViewChangeEvent.
 }
 
 SendResult GroupHandle::multicast(util::Bytes payload) {
@@ -43,6 +45,11 @@ std::optional<View> GroupHandle::view() {
 RetentionStats GroupHandle::retention_stats() {
   return host_ != nullptr ? host_->group_retention_stats(id_)
                           : RetentionStats{};
+}
+
+bool GroupHandle::join(JoinOptions opts) {
+  if (host_ == nullptr) return false;
+  return host_->group_join(id_, std::move(opts));
 }
 
 }  // namespace newtop

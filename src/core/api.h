@@ -147,10 +147,42 @@ struct RetentionPressureEvent {
   RetentionStats stats;
 };
 
+// Progress of a joiner's state transfer (docs/STATE_TRANSFER.md).
+// Emitted at the *joiner*:
+//   kOffered    — the JoinWelcome arrived: the joiner holds the agreed
+//                 view and the cutover stamp, and is ordering post-stamp
+//                 traffic into its stash. `peer` is the transfer source.
+//   kInstalling — the final snapshot chunk arrived; the installer is
+//                 about to run. `bytes` is the reassembled snapshot size.
+//   kCaughtUp   — snapshot installed and the stash drained: from here on
+//                 the joiner's deliveries are byte-for-byte the
+//                 incumbents' total order.
+struct StateTransferEvent {
+  enum class Phase : std::uint8_t { kOffered = 0, kInstalling = 1,
+                                    kCaughtUp = 2 };
+  GroupId group = 0;
+  Phase phase = Phase::kOffered;
+  ProcessId peer = kNoProcess;  // transfer source (kOffered/kInstalling)
+  Counter stamp = 0;            // cutover stamp counter
+  std::size_t bytes = 0;        // snapshot size (kInstalling/kCaughtUp)
+};
+
+// A joiner entered the view (§5.2 extended with join). Emitted at every
+// incumbent when it delivers the ordered join announce, and at the
+// joiner itself when the welcome installs the agreed view. Distinct from
+// ViewChangeEvent (also emitted) so applications can react to growth
+// without diffing member lists.
+struct MemberJoinedEvent {
+  GroupId group = 0;
+  ProcessId member = kNoProcess;  // the joiner
+  View view;                      // the view including it
+};
+
 // The one stream every engine output flows through. Order within the
 // variant is the wire-stable event-kind id; append only.
 using Event = std::variant<DeliveryEvent, ViewChangeEvent, FormationEvent,
-                           SendWindowEvent, RetentionPressureEvent>;
+                           SendWindowEvent, RetentionPressureEvent,
+                           StateTransferEvent, MemberJoinedEvent>;
 
 // Installed via EndpointHooks::on_event (hosts forward it, typically
 // after recording). Called synchronously from the engine; may re-enter
@@ -173,12 +205,24 @@ void emit_to_legacy_hooks(const EndpointHooks& hooks, const Event& ev);
 // Hosts that own the endpoint on another thread marshal these calls onto
 // the owner and block for the result — do not call them from inside an
 // event sink running on that same owner thread.
+// How a process joins a long-lived group (GroupHandle::join,
+// Endpoint::join_group). `contacts` are incumbents to ask, tried in
+// order on retry (Config::join_retry); `options` supplies the *local*
+// fields — delivery mode and the snapshot hooks — while the group-wide
+// agreement fields (mode, guarantee, dissemination, ...) are overwritten
+// by the values carried in the JoinWelcome.
+struct JoinOptions {
+  std::vector<ProcessId> contacts;
+  GroupOptions options;
+};
+
 class GroupHost {
  public:
   virtual SendResult group_multicast(GroupId g, util::Bytes payload) = 0;
   virtual void group_leave(GroupId g) = 0;
   virtual std::optional<View> group_view(GroupId g) = 0;
   virtual RetentionStats group_retention_stats(GroupId g) = 0;
+  virtual bool group_join(GroupId g, JoinOptions opts) = 0;
 
  protected:
   ~GroupHost() = default;
@@ -204,6 +248,11 @@ class GroupHandle {
   std::optional<View> view();
   // Engine byte accounting for this group (see RetentionStats).
   RetentionStats retention_stats();
+  // Asks to join the (already formed, total-order) group via
+  // opts.contacts; returns false if the request could not even be sent
+  // (invalid handle, no contacts, already a member). Progress arrives as
+  // StateTransferEvent / MemberJoinedEvent on the event stream.
+  bool join(JoinOptions opts);
 
  private:
   GroupHost* host_ = nullptr;

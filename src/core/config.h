@@ -57,6 +57,24 @@ struct Config {
   // (possibly multi-KB) datagram it would otherwise pin until stability.
   // <= 0 disables compaction.
   double retention_compact_ratio = 2.0;
+
+  // Joiner state transfer (docs/STATE_TRANSFER.md). A joiner that has
+  // sent a JoinRequest (or lost its transfer source mid-snapshot)
+  // re-requests after this much silence, cycling through its contacts
+  // (pre-welcome) or asking the current view's source (post-welcome).
+  sim::Duration join_retry = 400 * sim::kMillisecond;
+
+  // Snapshot chunking: the transfer source slices the provider's bytes
+  // into SnapshotFrames of at most this payload size, riding the
+  // reliable FIFO channel's ARQ (ordered, no loss) one chunk per frame.
+  std::size_t snapshot_chunk_bytes = 32 * 1024;
+
+  // Pre-welcome stash bound: a joiner buffers raw group traffic that
+  // arrives before its JoinWelcome (it cannot order it yet). Beyond this
+  // many buffered datagrams the oldest are dropped — safe, because
+  // anything ordered is recoverable from incumbent retention and
+  // anything else is re-sent by the protocol's own timers.
+  std::size_t join_stash_max = 4096;
 };
 
 }  // namespace newtop

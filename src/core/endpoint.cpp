@@ -88,6 +88,7 @@ SendResult Endpoint::multicast(GroupId g, util::Bytes payload, Time now) {
 
 void Endpoint::leave_group(GroupId g, Time now) {
   Reentrancy scope(*this);
+  joining_.erase(g);  // a leave also abandons an in-flight join
   GroupState* gs = find_group(g);
   if (gs == nullptr) return;
   if (gs->open) {
@@ -129,7 +130,8 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
     case MsgType::kApp:
     case MsgType::kNull:
     case MsgType::kLeave:
-    case MsgType::kStartGroup: {
+    case MsgType::kStartGroup:
+    case MsgType::kJoinAnnounce: {
       if (auto m = OrderedMsg::decode(data)) {
         process_ordered(from, *m, now, /*via_recovery=*/false);
       }
@@ -171,15 +173,35 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
       break;
     }
     case MsgType::kSuspect: {
-      if (auto m = SuspectMsg::decode(data)) handle_suspect(from, *m, now);
+      if (auto m = SuspectMsg::decode(data)) {
+        // Membership traffic racing a joiner's welcome is replayed once
+        // the welcome installs the view (same for refute/confirm below).
+        if (find_group(m->group) == nullptr &&
+            stash_prewelcome(from, m->group, data)) {
+          break;
+        }
+        handle_suspect(from, *m, now);
+      }
       break;
     }
     case MsgType::kRefute: {
-      if (auto m = RefuteMsg::decode(data)) handle_refute(from, *m, now);
+      if (auto m = RefuteMsg::decode(data)) {
+        if (find_group(m->group) == nullptr &&
+            stash_prewelcome(from, m->group, data)) {
+          break;
+        }
+        handle_refute(from, *m, now);
+      }
       break;
     }
     case MsgType::kConfirm: {
-      if (auto m = ConfirmMsg::decode(data)) handle_confirm(from, *m, now);
+      if (auto m = ConfirmMsg::decode(data)) {
+        if (find_group(m->group) == nullptr &&
+            stash_prewelcome(from, m->group, data)) {
+          break;
+        }
+        handle_confirm(from, *m, now);
+      }
       break;
     }
     case MsgType::kFormInvite: {
@@ -190,6 +212,20 @@ void Endpoint::dispatch_message(ProcessId from, const util::BytesView& data,
     case MsgType::kFormReply: {
       if (auto m = FormReplyMsg::decode(data))
         handle_form_reply(from, *m, now);
+      break;
+    }
+    case MsgType::kJoinRequest: {
+      if (auto m = JoinRequestMsg::decode(data))
+        handle_join_request(from, *m, now);
+      break;
+    }
+    case MsgType::kJoinWelcome: {
+      if (auto m = JoinWelcomeMsg::decode(data))
+        handle_join_welcome(from, *m, now);
+      break;
+    }
+    case MsgType::kSnapshot: {
+      if (auto m = SnapshotFrame::decode(data)) handle_snapshot(from, *m, now);
       break;
     }
   }
@@ -221,6 +257,7 @@ void Endpoint::on_tick(Time now) {
     }
     if (gs->forming) tick_formation(*gs, now);
   }
+  tick_join(now);
   // Replies buffered for invitations that never arrived (lost initiator,
   // stale group ids) are dropped once the formation window has passed.
   for (auto it = early_replies_.begin(); it != early_replies_.end();) {
@@ -718,7 +755,13 @@ void Endpoint::emit_ordered(GroupState& gs, MsgType type,
 void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& incoming,
                                Time now, bool via_recovery) {
   GroupState* gs = find_group(incoming.group);
-  if (gs == nullptr) return;  // not (or no longer) a member
+  if (gs == nullptr) {
+    // A joiner awaiting its welcome cannot order this yet, but will be
+    // able to the moment the welcome installs the view: buffer the raw
+    // encoding and replay it then.
+    stash_prewelcome(link_from, incoming.group, incoming.raw);
+    return;  // not (or not yet) a member
+  }
 
   if (incoming.type == MsgType::kStartGroup) {
     handle_start_group(*gs, incoming, now);
@@ -838,11 +881,25 @@ void Endpoint::process_ordered(ProcessId link_from, const OrderedMsg& incoming,
         queue_.emplace(QueueKey{msg.counter, msg.group, msg.sender}, msg);
       }
       break;
+    case MsgType::kJoinAnnounce:
+      // The announce takes effect at its *delivery* position — that
+      // position is the cutover stamp, so it must ride the queue like an
+      // application message (join is only served for total-order groups;
+      // a stray announce in an atomic-only group applies immediately).
+      if (duplicate_echo) break;
+      if (gs->opts.guarantee == Guarantee::kAtomicOnly) {
+        handle_join_announce(*gs, msg, now);
+        gs = find_group(msg.group);
+        if (gs == nullptr) return;
+      } else {
+        queue_.emplace(QueueKey{msg.counter, msg.group, msg.sender}, msg);
+      }
+      break;
     default:
       break;
   }
 
-  pump_deliveries();
+  pump_deliveries(now);
   gs = find_group(msg.group);  // delivery callbacks may re-enter
   if (gs == nullptr) return;
   if (gs->installing) try_complete_barrier(*gs, now);
@@ -910,7 +967,7 @@ void Endpoint::detach_arrival(const GroupState& gs, OrderedMsg& m,
   if (!nested && !m.payload.empty()) m.payload = copy(m.payload);
 }
 
-void Endpoint::pump_deliveries() {
+void Endpoint::pump_deliveries(Time now) {
   // safe1' + safe2: deliver queued messages with m.c <= Di, in
   // (counter, group, sender) order.
   while (!queue_.empty()) {
@@ -923,6 +980,40 @@ void Endpoint::pump_deliveries() {
     }
     OrderedMsg msg = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
+    // The pop position is the stream cut a snapshot serve is stamped
+    // with: provider state = every delivery at or before this key.
+    gs->last_delivered_c = key.counter;
+    gs->last_delivered_s = key.sender;
+    // A joiner between welcome and snapshot install diverts: deliveries
+    // at or before the stamp are covered by the snapshot (drop), later
+    // application messages wait in the stash until it installs.
+    const auto jit = joining_.find(key.group);
+    if (jit != joining_.end() && jit->second.welcomed) {
+      JoinState& js = jit->second;
+      if (key.counter < js.stamp_counter ||
+          (key.counter == js.stamp_counter &&
+           key.sender <= js.stamp_sender)) {
+        ++stats_.join_covered_dropped;
+        continue;  // snapshot-covered
+      }
+      if (msg.type == MsgType::kApp) {
+        JoinState::StashedDelivery sd;
+        sd.sender = msg.sender;
+        sd.counter = msg.counter;
+        sd.view_seq = gs->view.seq;
+        sd.payload.assign(msg.payload.begin(), msg.payload.end());
+        js.stash.push_back(std::move(sd));
+        ++stats_.join_stash_deliveries;
+        continue;
+      }
+      // A post-stamp announce for *another* joiner: the view must grow
+      // here too (we are an incumbent from its perspective); our own
+      // serve duties defer until we are caught up (maybe_serve_joins).
+    }
+    if (msg.type == MsgType::kJoinAnnounce) {
+      handle_join_announce(*gs, msg, now);
+      continue;
+    }
     deliver_app(*gs, msg);
   }
 }

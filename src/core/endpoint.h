@@ -119,6 +119,17 @@ class Endpoint : private PlaneHost {
   // through the regular membership protocol with ln = the Leave's number.
   void leave_group(GroupId g, Time now);
 
+  // Joins an already-formed total-order group (docs/STATE_TRANSFER.md):
+  // sends a JoinRequest to opts.contacts[0]; an incumbent turns it into
+  // an ordered announce whose delivery position is the cutover stamp, the
+  // designated transfer source streams a snapshot of the application
+  // state as of that stamp, and this endpoint installs snapshot + stashed
+  // post-stamp deliveries before its first normal delivery. Returns false
+  // if the request cannot even be sent (no contacts, already a member or
+  // already joining); progress arrives as StateTransferEvent /
+  // MemberJoinedEvent. Retries ride on_tick (Config::join_retry).
+  bool join_group(GroupId g, JoinOptions opts, Time now);
+
   // ------------------------------------------------------------------
   // Transport and timer inputs
   // ------------------------------------------------------------------
@@ -223,6 +234,19 @@ class Endpoint : private PlaneHost {
     // outermost handler returns (std::map erase would otherwise invalidate
     // references held by callers up the stack).
     bool defunct = false;
+    // Cutover-stamp coordinate: the QueueKey of the last delivery popped
+    // for this group. A JoinWelcome / snapshot serve cuts the stream
+    // exactly here — the provider state reflects every delivery at or
+    // before this key and nothing after.
+    Counter last_delivered_c = 0;
+    ProcessId last_delivered_s = 0;
+    // Joiners this member has announced (join-request dedup); cleared
+    // when the announce delivers.
+    std::set<ProcessId> join_pending;
+    // Joiners whose snapshot serve is deferred (a membership wave or our
+    // own join is in flight); drained at install_view completion and at
+    // complete_join_install.
+    std::vector<ProcessId> pending_join_serves;
   };
 
   // Global delivery queue key: safe2's "non-decreasing order of their
@@ -239,6 +263,35 @@ class Endpoint : private PlaneHost {
   struct PendingSend {
     GroupId group;
     util::Bytes payload;
+  };
+
+  // One in-flight join, from join_group until the snapshot installs
+  // (core/state_transfer.cpp). Pre-welcome there is deliberately NO
+  // GroupState — send_eligible and pump_sends dereference every group's
+  // plane — so raw traffic for the group is stashed here and replayed
+  // once the welcome creates the membership.
+  struct JoinState {
+    JoinOptions opts;
+    std::size_t next_contact = 0;  // rotates through contacts / view
+    Time last_request = 0;
+    bool welcomed = false;  // GroupState exists; snapshot still pending
+    ProcessId source = kNoProcess;
+    Counter stamp_counter = 0;
+    ProcessId stamp_sender = 0;
+    std::vector<std::uint8_t> snapshot;  // reassembled chunks
+    std::uint64_t chunks = 0;
+    // Raw datagram copies that arrived before the welcome (bounded by
+    // Config::join_stash_max; overflow drops the oldest).
+    std::deque<std::pair<ProcessId, util::Bytes>> prewelcome;
+    // Ordered deliveries past the stamp, held until the snapshot
+    // installs; payloads are detached copies (nothing pins arrivals).
+    struct StashedDelivery {
+      ProcessId sender = 0;
+      Counter counter = 0;
+      ViewSeq view_seq = 0;
+      util::Bytes payload;
+    };
+    std::vector<StashedDelivery> stash;
   };
 
   // RAII re-entrancy scope for public entry points: group erasures
@@ -284,7 +337,7 @@ class Endpoint : private PlaneHost {
                     Time now);
   void process_ordered(ProcessId link_from, const OrderedMsg& msg, Time now,
                        bool via_recovery);
-  void pump_deliveries();
+  void pump_deliveries(Time now);
   void pump_sends(Time now);
 
   // ---- Dissemination overlay (core/dissemination.h) -------------------
@@ -355,6 +408,40 @@ class Endpoint : private PlaneHost {
   bool has_suspicion_on(const GroupState& gs, ProcessId p) const;
   bool in_pending_wave(const GroupState& gs, ProcessId p) const;
 
+  // ---- Joiner state transfer (core/state_transfer.cpp) ----------------
+  // Joiner side: retry timer (pre-welcome contact cycling, post-welcome
+  // source re-request after a mid-snapshot crash).
+  void tick_join(Time now);
+  // Sends (or re-sends) the JoinRequest for an in-flight join.
+  void send_join_request(GroupId g, JoinState& js, Time now);
+  // Incumbent side: a JoinRequest arrived — emit the ordered announce
+  // (or, for a joiner already in the view, re-serve at the current cut).
+  void handle_join_request(ProcessId from, const JoinRequestMsg& msg,
+                           Time now);
+  // The ordered announce delivered: grow the view, seed the joiner's
+  // stability/receive-vector floors at the stamp, re-send own retained
+  // content above it, and serve the snapshot if we are the source.
+  void handle_join_announce(GroupState& gs, const OrderedMsg& msg, Time now);
+  // Joiner side: the welcome installs the agreed view and the stamp.
+  void handle_join_welcome(ProcessId from, const JoinWelcomeMsg& msg,
+                           Time now);
+  void handle_snapshot(ProcessId from, const SnapshotFrame& msg, Time now);
+  // Welcome + retention re-send + suspicions + chunked snapshot, cut at
+  // gs.last_delivered; the one serve path for both announce-time and
+  // re-request serves.
+  void serve_join(GroupState& gs, ProcessId joiner);
+  // Drains pending_join_serves when the blocking condition (membership
+  // wave, own join) has cleared.
+  void maybe_serve_joins(GroupState& gs);
+  // Final chunk arrived: install the snapshot, drain the stash, go live.
+  void complete_join_install(GroupId g, Time now);
+  // Buffers pre-welcome raw traffic for a group being joined; true if
+  // the datagram was consumed (caller drops it without further handling).
+  bool stash_prewelcome(ProcessId from, GroupId g,
+                        const util::BytesView& data);
+  // Deterministic transfer source: lowest live view member != joiner.
+  ProcessId transfer_source(const GroupState& gs, ProcessId joiner) const;
+
   // ---- Group formation (endpoint_formation.cpp) -----------------------
   void handle_form_invite(ProcessId from, const FormInviteMsg& msg,
                           Time now);
@@ -385,6 +472,9 @@ class Endpoint : private PlaneHost {
     Time at;
   };
   std::map<GroupId, std::vector<EarlyReply>> early_replies_;
+  // In-flight joins (joiner side), keyed by group; erased when the
+  // snapshot installs (core/state_transfer.cpp).
+  std::map<GroupId, JoinState> joining_;
   // Groups erased during processing are deferred to avoid iterator
   // invalidation while handlers run.
   std::vector<GroupId> pending_erase_;

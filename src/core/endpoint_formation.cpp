@@ -199,7 +199,7 @@ void Endpoint::maybe_complete_formation(GroupState& gs, Time now) {
   gs.open = true;
   emit_event(Event(FormationEvent{gs.id, FormationOutcome::kFormed}));
   if (find_group(gs.id) == nullptr) return;
-  pump_deliveries();
+  pump_deliveries(now);
   if (find_group(gs.id) == nullptr) return;
   pump_sends(now);
 }

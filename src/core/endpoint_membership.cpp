@@ -190,7 +190,7 @@ void Endpoint::handle_refute(ProcessId from, const RefuteMsg& msg,
   } else {
     gs->gv.gossip.erase(s);
   }
-  pump_deliveries();
+  pump_deliveries(now);
   gs = find_group(msg.group);
   if (gs == nullptr) return;
   if (gs->installing) try_complete_barrier(*gs, now);
@@ -443,7 +443,7 @@ void Endpoint::install_view(GroupState& gs, Time now) {
   gs.plane->on_view_installed(gs, old_sequencer, now);
   if (find_group(gs.id) == nullptr) return;
 
-  pump_deliveries();  // D may have jumped over the removed minima
+  pump_deliveries(now);  // D may have jumped over the removed minima
   if (find_group(gs.id) == nullptr) return;
 
   if (!gs.gv.waves.empty()) {
@@ -458,6 +458,12 @@ void Endpoint::install_view(GroupState& gs, Time now) {
     if (find_group(gs.id) == nullptr) return;
   }
   check_consensus(gs, now);
+  if (find_group(gs.id) == nullptr) return;
+  // Joiner bookkeeping: a serve owed to an excluded joiner is void, and
+  // serves deferred behind this wave can proceed now.
+  std::erase_if(gs.pending_join_serves,
+                [&](ProcessId p) { return !gs.view.contains(p); });
+  maybe_serve_joins(gs);
   if (find_group(gs.id) == nullptr) return;
   if (gs.forming) maybe_complete_formation(gs, now);
   pump_sends(now);

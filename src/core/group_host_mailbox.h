@@ -82,6 +82,14 @@ class MailboxGroupHost : public GroupHost {
         [g](Endpoint& e, sim::Time) { return e.retention_stats(g); });
   }
 
+  bool group_join(GroupId g, JoinOptions opts) override {
+    return marshal<bool>(
+        false, [g, opts = std::move(opts)](Endpoint& e,
+                                           sim::Time now) mutable {
+          return e.join_group(g, std::move(opts), now);
+        });
+  }
+
  protected:
   ~MailboxGroupHost() = default;
 

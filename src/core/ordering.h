@@ -78,6 +78,22 @@ struct EndpointStats {
   std::uint64_t relay_gap_stashed = 0;
   std::uint64_t relay_repairs_requested = 0;
   std::uint64_t relay_repairs_served = 0;
+  // Joiner state transfer (core/state_transfer.cpp): requests sent
+  // (including retries), announces emitted for joiners, snapshot serves
+  // performed, snapshot chunks sent/received, pre-welcome raw datagrams
+  // stashed (and dropped on overflow), post-stamp deliveries stashed at
+  // the joiner, snapshot-covered deliveries dropped, and joins completed
+  // (kCaughtUp reached).
+  std::uint64_t join_requests_sent = 0;
+  std::uint64_t join_announces = 0;
+  std::uint64_t join_serves = 0;
+  std::uint64_t snapshot_chunks_sent = 0;
+  std::uint64_t snapshot_chunks_received = 0;
+  std::uint64_t join_prewelcome_stashed = 0;
+  std::uint64_t join_prewelcome_dropped = 0;
+  std::uint64_t join_stash_deliveries = 0;
+  std::uint64_t join_covered_dropped = 0;
+  std::uint64_t joins_completed = 0;
 };
 
 // The per-group state shared between the endpoint and its ordering plane:

@@ -78,6 +78,10 @@ void SimProcess::on_event(const Event& ev) {
     send_windows.push_back(SendWindowRecord{sim_.now(), *s});
   } else if (const auto* r = std::get_if<RetentionPressureEvent>(&ev)) {
     retention_pressure.push_back(RetentionPressureRecord{sim_.now(), *r});
+  } else if (const auto* st = std::get_if<StateTransferEvent>(&ev)) {
+    state_transfers.push_back(StateTransferRecord{sim_.now(), *st});
+  } else if (const auto* mj = std::get_if<MemberJoinedEvent>(&ev)) {
+    member_joins.push_back(MemberJoinedRecord{sim_.now(), *mj});
   }
   if (app_sink_) app_sink_(ev);
 }
@@ -102,6 +106,11 @@ std::optional<View> SimProcess::group_view(GroupId g) {
 RetentionStats SimProcess::group_retention_stats(GroupId g) {
   if (crashed_) return RetentionStats{};
   return endpoint_->retention_stats(g);
+}
+
+bool SimProcess::group_join(GroupId g, JoinOptions opts) {
+  if (crashed_) return false;
+  return endpoint_->join_group(g, std::move(opts), sim_.now());
 }
 
 void SimProcess::on_datagram(sim::NodeId from, util::SharedBytes data) {

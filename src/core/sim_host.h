@@ -57,6 +57,16 @@ struct RetentionPressureRecord {
   RetentionPressureEvent event;
 };
 
+struct StateTransferRecord {
+  sim::Time at = 0;
+  StateTransferEvent event;
+};
+
+struct MemberJoinedRecord {
+  sim::Time at = 0;
+  MemberJoinedEvent event;
+};
+
 // One simulated node: Endpoint + Router bound to a Network node, driven
 // by a periodic tick event. All processes of a world share one
 // BufferPool (the world's), which also backs the Network's datagram
@@ -89,6 +99,7 @@ class SimProcess : public GroupHost {
   void group_leave(GroupId g) override;
   std::optional<View> group_view(GroupId g) override;
   RetentionStats group_retention_stats(GroupId g) override;
+  bool group_join(GroupId g, JoinOptions opts) override;
 
   // Halts the process: no more ticks, sends or receives. In-flight
   // datagrams it already emitted still arrive (a crash does not recall
@@ -112,6 +123,8 @@ class SimProcess : public GroupHost {
   std::vector<FormationRecord> formations;
   std::vector<SendWindowRecord> send_windows;
   std::vector<RetentionPressureRecord> retention_pressure;
+  std::vector<StateTransferRecord> state_transfers;
+  std::vector<MemberJoinedRecord> member_joins;
 
   // Delivered payload sequence for one group (convenience for oracles).
   std::vector<std::string> delivered_strings(GroupId g) const;

@@ -1,0 +1,73 @@
+// Joiner state transfer: pure helpers for the snapshot-on-join cutover.
+//
+// The subsystem itself (docs/STATE_TRANSFER.md) lives in the Endpoint —
+// the join handshake rides the membership and total-order machinery of
+// §5.2, so its handlers are engine methods (core/state_transfer.cpp).
+// This header holds the parts with no engine state: the cutover-stamp
+// arithmetic and the deterministic transfer-source rule, shared by the
+// engine, the tests and the benchmarks.
+//
+// The cutover stamp is a *delivery-queue position*, not a bare counter.
+// The global queue delivers in (counter, group, sender) order (safe2), so
+// within one group a position is the pair {counter, sender}: a message
+// with the same counter but a higher sender id sorts — and delivers —
+// after the join announce, and is therefore NOT covered by the snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace newtop::state_transfer {
+
+// The cutover stamp: the queue position at which the ordered join
+// announce delivered. Snapshot state = every delivery at or before it.
+struct Stamp {
+  Counter counter = 0;
+  ProcessId sender = 0;
+
+  auto operator<=>(const Stamp&) const = default;
+};
+
+// True when a delivery at queue position {c, s} is covered by the
+// snapshot cut at `st` — the joiner drops it; the incumbents' state at
+// the stamp already reflects it.
+constexpr bool covered(const Stamp& st, Counter c, ProcessId s) {
+  return c < st.counter || (c == st.counter && s <= st.sender);
+}
+
+// The highest counter from member `p` that the cut at `st` covers — the
+// value a joiner seeds its receive-vector entry for `p` at. Not simply
+// st.counter: a message {st.counter, p} with p > st.sender sorts AFTER
+// the announce (see `covered`), so it is post-stamp traffic the joiner
+// must still accept; seeding rv[p] at st.counter would stale-drop it.
+constexpr Counter covered_floor(const Stamp& st, ProcessId p) {
+  if (p <= st.sender) return st.counter;
+  return st.counter > 0 ? st.counter - 1 : 0;
+}
+
+// Number of SnapshotFrames a `total`-byte snapshot splits into at
+// `chunk`-byte payloads. Always at least one: an empty snapshot is one
+// empty, last-marked frame (the joiner needs the `last` edge to install).
+constexpr std::uint64_t chunk_count(std::size_t total, std::size_t chunk) {
+  if (chunk == 0 || total == 0) return 1;
+  return static_cast<std::uint64_t>((total + chunk - 1) / chunk);
+}
+
+// Deterministic transfer source for `joiner` in `view`: the lowest member
+// that is not the joiner itself (the view is sorted, so every member that
+// evaluates this over the same view picks the same process — the same
+// determinism argument as sequencer_of, §4.2). kNoProcess when the view
+// holds nobody else. The engine additionally routes around members it
+// currently suspects (Endpoint::transfer_source); a disagreement there
+// only costs a duplicate or delayed serve, never a wrong one, because the
+// joiner re-requests until a snapshot installs.
+inline ProcessId transfer_source_in(const View& view, ProcessId joiner) {
+  for (ProcessId p : view.members) {
+    if (p != joiner) return p;
+  }
+  return kNoProcess;
+}
+
+}  // namespace newtop::state_transfer

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,20 @@ struct GroupOptions {
   DisseminationStrategy dissemination = DisseminationStrategy::kFullMesh;
   // Fan-out degree of each kTree relay (ignored by the other strategies).
   std::uint32_t relay_arity = 4;
+
+  // State-transfer hooks (local-only, not part of the group-wide
+  // agreement and not carried on the wire — like `delivery`). When a
+  // joiner is announced, the designated transfer source calls
+  // `snapshot_provider` to serialise its application state as of the
+  // cutover stamp (everything delivered so far, nothing after); the
+  // joiner calls `snapshot_installer` with the reassembled bytes before
+  // draining its stash of post-stamp deliveries. A member without a
+  // provider serves an empty snapshot; a joiner without an installer
+  // discards the bytes (the events still fire, so the application can
+  // observe the transfer either way).
+  std::function<std::vector<std::uint8_t>(GroupId)> snapshot_provider;
+  std::function<void(GroupId, const std::vector<std::uint8_t>&)>
+      snapshot_installer;
 };
 
 // A membership view: the sorted list of members plus the installation

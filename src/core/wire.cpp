@@ -195,6 +195,100 @@ std::optional<FormReplyMsg> FormReplyMsg::decode(util::BytesView data) {
   return m;
 }
 
+util::Bytes JoinRequestMsg::encode() const {
+  util::Writer w(12);
+  write_header(w, MsgType::kJoinRequest, group);
+  w.varint(joiner);
+  return std::move(w).take();
+}
+
+std::optional<JoinRequestMsg> JoinRequestMsg::decode(util::BytesView data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kJoinRequest)
+    return std::nullopt;
+  JoinRequestMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.joiner = static_cast<ProcessId>(r.varint());
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes JoinWelcomeMsg::encode() const {
+  util::Writer w(32 + members.size() * 4);
+  write_header(w, MsgType::kJoinWelcome, group);
+  w.varint(source);
+  w.varint(stamp_counter);
+  w.varint(stamp_sender);
+  w.varint(view_seq);
+  w.u8(static_cast<std::uint8_t>(options.mode));
+  w.u8(static_cast<std::uint8_t>(options.guarantee));
+  w.u8(options.failure_free ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(options.dissemination));
+  w.varint(options.relay_arity);
+  w.varint(members.size());
+  for (ProcessId p : members) w.varint(p);
+  return std::move(w).take();
+}
+
+std::optional<JoinWelcomeMsg> JoinWelcomeMsg::decode(util::BytesView data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kJoinWelcome)
+    return std::nullopt;
+  JoinWelcomeMsg m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.source = static_cast<ProcessId>(r.varint());
+  m.stamp_counter = r.varint();
+  m.stamp_sender = static_cast<ProcessId>(r.varint());
+  m.view_seq = r.varint();
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(OrderMode::kAsymmetric))
+    return std::nullopt;
+  m.options.mode = static_cast<OrderMode>(mode);
+  const std::uint8_t guarantee = r.u8();
+  if (guarantee > static_cast<std::uint8_t>(Guarantee::kAtomicOnly))
+    return std::nullopt;
+  m.options.guarantee = static_cast<Guarantee>(guarantee);
+  m.options.failure_free = r.u8() != 0;
+  const std::uint8_t strategy = r.u8();
+  if (strategy > static_cast<std::uint8_t>(DisseminationStrategy::kTree))
+    return std::nullopt;
+  m.options.dissemination = static_cast<DisseminationStrategy>(strategy);
+  m.options.relay_arity = static_cast<std::uint32_t>(r.varint());
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 20) return std::nullopt;
+  m.members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    m.members.push_back(static_cast<ProcessId>(r.varint()));
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+util::Bytes SnapshotFrame::encode(util::Bytes reuse) const {
+  util::Writer w(std::move(reuse));
+  w.reserve(payload.size() + 24);
+  write_header(w, MsgType::kSnapshot, group);
+  w.varint(stamp_counter);
+  w.varint(index);
+  w.u8(last ? 1 : 0);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<SnapshotFrame> SnapshotFrame::decode(util::BytesView data) {
+  util::Reader r(data);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kSnapshot) return std::nullopt;
+  SnapshotFrame m;
+  m.group = static_cast<GroupId>(r.varint());
+  m.stamp_counter = r.varint();
+  m.index = r.varint();
+  const std::uint8_t last = r.u8();
+  if (last > 1) return std::nullopt;
+  m.last = last != 0;
+  m.payload = r.bytes_view();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
 util::Bytes RelayFrame::encode(util::Bytes reuse) const {
   util::Writer w(std::move(reuse));
   w.reserve(payload.size() + 16);
@@ -423,6 +517,10 @@ std::optional<MsgType> peek_type(std::span<const std::uint8_t> data) {
     case MsgType::kConfirm:
     case MsgType::kFormInvite:
     case MsgType::kFormReply:
+    case MsgType::kJoinAnnounce:
+    case MsgType::kJoinRequest:
+    case MsgType::kJoinWelcome:
+    case MsgType::kSnapshot:
       return t;
   }
   return std::nullopt;

@@ -35,12 +35,17 @@ enum class MsgType : std::uint8_t {
   kBatch = 6,      // several protocol payloads coalesced into one datagram
   kRelay = 7,      // overlay-relayed ordered message (ring/tree fan-out)
   kRelayRepair = 8,  // relay gap-repair request (receiver -> emitter)
+  kJoinAnnounce = 9, // ordered join announcement: its delivery position is
+                     // the state-transfer cutover stamp (docs/STATE_TRANSFER.md)
   // Control plane.
   kSuspect = 16,
   kRefute = 17,
   kConfirm = 18,
   kFormInvite = 19,
   kFormReply = 20,
+  kJoinRequest = 21, // joiner -> contact: ask to be announced into the group
+  kJoinWelcome = 22, // incumbent -> joiner: view + options + cutover stamp
+  kSnapshot = 23,    // transfer source -> joiner: one chunk of app state
 };
 
 // An ordered-plane message. `sender` is m.s (the application-level
@@ -147,6 +152,55 @@ struct FormReplyMsg {
 
   util::Bytes encode() const;
   static std::optional<FormReplyMsg> decode(util::BytesView data);
+};
+
+// A join request: a process outside the group asks a contact (any
+// incumbent) to bring it in. The contact answers by emitting an ordered
+// kJoinAnnounce whose delivery position — identical at every member, by
+// total order — becomes the state-transfer cutover stamp.
+struct JoinRequestMsg {
+  GroupId group = 0;
+  ProcessId joiner = 0;
+
+  util::Bytes encode() const;
+  static std::optional<JoinRequestMsg> decode(util::BytesView data);
+};
+
+// The welcome an incumbent unicasts to the joiner when it delivers the
+// join announce: the agreed view (joiner included), the group options as
+// carried on the wire (FormInviteMsg layout), and the cutover stamp
+// {stamp_counter, stamp_sender} — the queue position of the announce
+// itself. Every delivery ordered at or before the stamp is covered by
+// the snapshot; everything after it the joiner orders normally (stashed
+// until the snapshot installs).
+struct JoinWelcomeMsg {
+  GroupId group = 0;
+  ProcessId source = 0;  // designated transfer source in the new view
+  Counter stamp_counter = 0;
+  ProcessId stamp_sender = 0;
+  std::uint64_t view_seq = 0;
+  GroupOptions options;  // wire-carried fields only (no callbacks)
+  std::vector<ProcessId> members;  // new view, joiner included
+
+  util::Bytes encode() const;
+  static std::optional<JoinWelcomeMsg> decode(util::BytesView data);
+};
+
+// One chunk of the application snapshot, unicast source -> joiner over
+// the reliable FIFO channel (so chunks arrive in order, no loss). The
+// stamp identifies which cutover the bytes belong to: a joiner that
+// re-requested after a source crash drops chunks from the stale cut.
+// `index` must equal the count of chunks already accepted; `last` marks
+// the final chunk, after which the joiner installs and drains its stash.
+struct SnapshotFrame {
+  GroupId group = 0;
+  Counter stamp_counter = 0;
+  std::uint64_t index = 0;
+  bool last = false;
+  util::BytesView payload;  // slice of the arrival datagram
+
+  util::Bytes encode(util::Bytes reuse = {}) const;
+  static std::optional<SnapshotFrame> decode(util::BytesView data);
 };
 
 // A relay container (ring/tree dissemination, core/dissemination.h):
@@ -320,7 +374,7 @@ std::optional<MsgType> peek_type(std::span<const std::uint8_t> data);
 // True for types on the ordered plane (stamped with logical clock values).
 constexpr bool is_ordered(MsgType t) {
   return t == MsgType::kApp || t == MsgType::kNull || t == MsgType::kLeave ||
-         t == MsgType::kStartGroup;
+         t == MsgType::kStartGroup || t == MsgType::kJoinAnnounce;
 }
 
 }  // namespace newtop

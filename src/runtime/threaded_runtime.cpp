@@ -318,6 +318,13 @@ void ThreadedRuntime::leave_group(ProcessId p, GroupId g) {
       [g](Endpoint& e, sim::Time now) { e.leave_group(g, now); });
 }
 
+void ThreadedRuntime::join_group(ProcessId p, GroupId g, JoinOptions opts) {
+  worker(p).enqueue_command(
+      [g, opts = std::move(opts)](Endpoint& e, sim::Time now) mutable {
+        e.join_group(g, std::move(opts), now);
+      });
+}
+
 void ThreadedRuntime::crash(ProcessId p) { worker(p).crash(); }
 
 std::vector<Delivery> ThreadedRuntime::deliveries(ProcessId p) const {

@@ -61,6 +61,11 @@ class ThreadedRuntime {
   void multicast(ProcessId p, GroupId g, util::Bytes payload,
                  std::function<void(SendResult)> done = {});
   void leave_group(ProcessId p, GroupId g);
+  // Async join (Endpoint::join_group, docs/STATE_TRANSFER.md): the
+  // request is enqueued on the owner thread; progress arrives as
+  // StateTransferEvent / MemberJoinedEvent on the event sink. The
+  // blocking variant is GroupHandle::join via group(p, g).
+  void join_group(ProcessId p, GroupId g, JoinOptions opts);
   void crash(ProcessId p);  // stops the worker without draining
 
   // Facade over process p's membership in g (see api.h). multicast /

@@ -85,6 +85,16 @@ TEST(Api, LegacyHooksAdapterDispatchesEachEventKind) {
                        Event(FormationEvent{9, FormationOutcome::kVetoed}));
   emit_to_legacy_hooks(hooks, Event(SendWindowEvent{1, 4}));          // dropped
   emit_to_legacy_hooks(hooks, Event(RetentionPressureEvent{1, {}}));  // dropped
+  // State-transfer kinds postdate the legacy hooks; the adapter drops
+  // them rather than faking a delivery or view change.
+  StateTransferEvent st;
+  st.group = 1;
+  st.phase = StateTransferEvent::Phase::kCaughtUp;
+  emit_to_legacy_hooks(hooks, Event(st));  // dropped
+  MemberJoinedEvent mj;
+  mj.group = 1;
+  mj.member = 4;
+  emit_to_legacy_hooks(hooks, Event(mj));  // dropped
 
   EXPECT_EQ(calls, (std::vector<std::string>{
                        "deliver:hi", "view:7:3", "formation:9:1"}));

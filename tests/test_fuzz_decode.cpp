@@ -56,6 +56,9 @@ TEST(FuzzDecode, PureRandomBytesNeverCrashDecoders) {
     (void)BatchFrame::decode(b);
     (void)RelayFrame::decode(b);
     (void)RelayRepairMsg::decode(b);
+    (void)JoinRequestMsg::decode(b);
+    (void)JoinWelcomeMsg::decode(b);
+    (void)SnapshotFrame::decode(b);
     (void)ChannelDataFrame::decode(util::BytesView(b));
     (void)ChannelAckFrame::decode(util::BytesView(b));
     (void)peek_type(b);
@@ -239,6 +242,109 @@ TEST(FuzzDecode, MutatedRelayFramesNeverCrashDecoder) {
     }
     (void)RelayRepairMsg::decode(view);
   }
+}
+
+TEST(FuzzDecode, MutatedJoinMessagesNeverCrashDecoders) {
+  // The three state-transfer codecs (docs/STATE_TRANSFER.md) decode
+  // input from processes that are not yet group members — the least
+  // trusted source in the system. Mutations must fail cleanly and any
+  // surviving SnapshotFrame payload must honor its length field.
+  util::Rng rng(19950605);
+  JoinRequestMsg req;
+  req.group = 7;
+  req.joiner = 9;
+  JoinWelcomeMsg wel;
+  wel.group = 7;
+  wel.source = 0;
+  wel.stamp_counter = 4242;
+  wel.stamp_sender = 2;
+  wel.view_seq = 3;
+  wel.members = {0, 1, 2};
+  SnapshotFrame snap;
+  snap.group = 7;
+  snap.stamp_counter = 4242;
+  snap.index = 2;
+  snap.last = true;
+  snap.payload = {9, 8, 7, 6, 5, 4};
+  const util::Bytes seeds[] = {req.encode(), wel.encode(), snap.encode()};
+  for (int i = 0; i < fuzz_iters(20000); ++i) {
+    util::Bytes b = seeds[static_cast<std::size_t>(i) % 3];
+    const int edits = 1 + static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.next_below(3)) {
+        case 0:
+          if (!b.empty()) {
+            b[rng.next_below(b.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+          }
+          break;
+        case 1:
+          if (!b.empty()) b.resize(rng.next_below(b.size()));
+          break;
+        case 2:
+          b.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+          break;
+      }
+    }
+    (void)JoinRequestMsg::decode(b);
+    if (auto w = JoinWelcomeMsg::decode(b)) {
+      // Range invariants survive mutation: decoded enums are always
+      // valid enumerators (the engine switches on them unguarded).
+      ASSERT_LE(static_cast<unsigned>(w->options.mode),
+                static_cast<unsigned>(OrderMode::kAsymmetric));
+      ASSERT_LE(static_cast<unsigned>(w->options.guarantee),
+                static_cast<unsigned>(Guarantee::kAtomicOnly));
+    }
+    if (auto s = SnapshotFrame::decode(b)) {
+      ASSERT_LE(s->payload.size(), b.size());
+    }
+    (void)peek_type(b);
+  }
+}
+
+TEST(FuzzDecode, EndpointSurvivesHostileJoinMessages) {
+  // Forged join traffic into a live group: bogus joiners, spoofed
+  // welcomes to a non-joining member, unsolicited snapshot chunks,
+  // requests claiming someone else is joining. Nothing crashes, the
+  // view stays sane, and the group keeps delivering.
+  simhost::WorldConfig cfg;
+  cfg.processes = 3;
+  cfg.seed = 23;
+  simhost::SimWorld w(cfg);
+  w.create_group(1, {0, 1, 2});
+  w.run_for(300 * kMillisecond);
+
+  JoinRequestMsg spoofed;  // claims P2 (already a member) wants to join,
+  spoofed.group = 1;       // but arrives from P0: joiner/from mismatch
+  spoofed.joiner = 2;
+  w.ep(1).on_message(0, spoofed.encode(), w.now());
+
+  JoinRequestMsg self_join;  // P1 asked to admit itself
+  self_join.group = 1;
+  self_join.joiner = 1;
+  w.ep(1).on_message(1, self_join.encode(), w.now());
+
+  JoinWelcomeMsg unsolicited;  // welcome to a process that never asked
+  unsolicited.group = 1;
+  unsolicited.source = 0;
+  unsolicited.stamp_counter = 99999;
+  unsolicited.stamp_sender = 0;
+  unsolicited.members = {0, 1, 2, 9};
+  w.ep(1).on_message(0, unsolicited.encode(), w.now());
+
+  SnapshotFrame stray;  // chunk with no transfer in progress
+  stray.group = 1;
+  stray.stamp_counter = 99999;
+  stray.last = true;
+  stray.payload = {0xff, 0xff};
+  w.ep(1).on_message(0, stray.encode(), w.now());
+
+  w.multicast(0, 1, "sane");
+  w.run_for(2 * kSecond);
+  const auto d = w.process(1).delivered_strings(1);
+  EXPECT_EQ(d, std::vector<std::string>{"sane"});
+  EXPECT_EQ(w.ep(1).view(1)->members, (std::vector<ProcessId>{0, 1, 2}));
+  EXPECT_EQ(w.ep(1).stats().joins_completed, 0u);
 }
 
 TEST(FuzzDecode, EndpointSurvivesHostileRelayFrames) {
